@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one evaluation artifact of the paper
+(Figures 5–8 + the headline numbers + the Section 3.1 backtracking
+comparison + trade-off ablations).  Results are printed and also written
+to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference a
+stable location.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_figure(name: str, text: str) -> None:
+    """Print a regenerated figure and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,110 @@
+"""Experiment A1 — ablation of the Section 5.4 trade-off factors.
+
+The paper derives three decisive factors for ``shouldDuplicate``:
+(1) the maximum compilation-unit size, (2) the code-size increase
+budget, and (3) profile probabilities — and fixes BenefitScale = 256
+empirically.  These benches sweep each factor and regenerate the
+corresponding trade-off curves:
+
+* benefit-scale sweep: smaller scales duplicate less (less code, less
+  speedup); very large scales converge toward dupalot;
+* probability ablation: ignoring probabilities spends budget on cold
+  paths (>= code size at <= speedup);
+* budget sweep: the increase budget caps code growth monotonically.
+"""
+
+import dataclasses
+
+from _support import record_figure
+
+from repro.bench.harness import measure_workload
+from repro.bench.stats import format_percent, geometric_mean
+from repro.bench.workloads.suites import MICRO, SCALA_DACAPO, generate_workload
+from repro.pipeline.config import BASELINE, DBDS
+
+WORKLOADS = [
+    (MICRO, "akkaPP"),
+    (MICRO, "chisquare"),
+    (SCALA_DACAPO, "kiama"),
+    (SCALA_DACAPO, "scalap"),
+]
+
+
+def _suite_metrics(config):
+    ratios_perf, ratios_size, dups = [], [], 0
+    for profile, name in WORKLOADS:
+        workload = generate_workload(profile, name)
+        base = measure_workload(workload, BASELINE)
+        measured = measure_workload(workload, config)
+        ratios_perf.append(base.cycles / max(measured.cycles, 1e-9))
+        ratios_size.append(measured.code_size / max(base.code_size, 1e-9))
+        dups += measured.duplications
+    return (
+        (geometric_mean(ratios_perf) - 1) * 100,
+        (geometric_mean(ratios_size) - 1) * 100,
+        dups,
+    )
+
+
+def test_benefit_scale_sweep(benchmark):
+    scales = [1.0, 16.0, 256.0, 4096.0]
+
+    def sweep():
+        return {
+            scale: _suite_metrics(DBDS.with_trade_off(benefit_scale=scale))
+            for scale in scales
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["=== BenefitScale sweep (paper fixes BS = 256) ===",
+             f"{'scale':>8s}{'perf':>10s}{'size':>10s}{'dups':>7s}"]
+    for scale, (perf, size, dups) in results.items():
+        lines.append(
+            f"{scale:>8.0f}{format_percent(perf):>10s}"
+            f"{format_percent(size):>10s}{dups:>7d}"
+        )
+    record_figure("ablation_benefit_scale", "\n".join(lines))
+    # More permissive scales never duplicate less.
+    dup_counts = [results[s][2] for s in scales]
+    assert dup_counts == sorted(dup_counts)
+
+
+def test_probability_ablation(benchmark):
+    def run_both():
+        with_p = _suite_metrics(DBDS)
+        without_p = _suite_metrics(DBDS.with_trade_off(use_probability=False))
+        return with_p, without_p
+
+    (with_p, without_p) = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record_figure(
+        "ablation_probability",
+        "=== Probability ablation (factor 3 of Section 5.4) ===\n"
+        f"with probabilities   : perf {format_percent(with_p[0])}, "
+        f"size {format_percent(with_p[1])}, dups {with_p[2]}\n"
+        f"without probabilities: perf {format_percent(without_p[0])}, "
+        f"size {format_percent(without_p[1])}, dups {without_p[2]}",
+    )
+    # Ignoring probability spends budget on cold paths: never less code.
+    assert without_p[2] >= with_p[2]
+
+
+def test_increase_budget_sweep(benchmark):
+    budgets = [1.0, 1.25, 1.5, 3.0]
+
+    def sweep():
+        return {
+            b: _suite_metrics(DBDS.with_trade_off(increase_budget=b))
+            for b in budgets
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["=== Code-size IncreaseBudget sweep (paper fixes IB = 1.5) ===",
+             f"{'budget':>8s}{'perf':>10s}{'size':>10s}{'dups':>7s}"]
+    for budget, (perf, size, dups) in results.items():
+        lines.append(
+            f"{budget:>8.2f}{format_percent(perf):>10s}"
+            f"{format_percent(size):>10s}{dups:>7d}"
+        )
+    record_figure("ablation_increase_budget", "\n".join(lines))
+    dup_counts = [results[b][2] for b in budgets]
+    assert dup_counts == sorted(dup_counts)

@@ -1,0 +1,118 @@
+"""Experiment B1 — Section 3.1: backtracking vs simulation compile time.
+
+The paper reports that the CFG copy required by backtracking-based
+duplication (Algorithm 1) "increased compilation time by a factor of 10"
+in Graal.  The effect is a *scaling* argument: Algorithm 1 pays one
+whole-graph copy plus a full optimization pass per predecessor-merge
+pair, while simulation covers all pairs in a single traversal — so the
+gap widens with compilation-unit size (Graal units reach >100k nodes).
+
+This benchmark compiles synthetic units of growing merge counts under
+both configurations and regenerates that scaling curve.
+
+Shape checks: the slowdown factor grows with unit size and exceeds 2x on
+the largest unit (the paper's 10x corresponds to far larger units than
+a pure-Python harness can time comfortably).
+"""
+
+import time
+
+from _support import record_figure
+
+from repro.bench.harness import measure_workload
+from repro.bench.workloads.suites import SCALA_DACAPO, Workload, generate_workload
+from repro.pipeline.config import BACKTRACKING, DBDS
+
+
+def merge_chain_workload(merges: int) -> Workload:
+    """A single compilation unit with ``merges`` sequential diamonds,
+    each a duplication candidate (no loops, so every pair qualifies)."""
+    lines = ["fn main(x: int) -> int {", "  var acc: int = x;"]
+    for j in range(merges):
+        lines.append(f"  var p{j}: int;")
+        lines.append(
+            f"  if (acc > {7 + 3 * j}) {{ p{j} = acc; }} else {{ p{j} = {j % 9}; }}"
+        )
+        lines.append(f"  acc = acc + p{j} * {2 + j % 3};")
+    lines.append("  return acc;")
+    lines.append("}")
+    return Workload(
+        name=f"chain{merges}",
+        suite="synthetic",
+        source="\n".join(lines),
+        profile_args=[[5]],
+        measure_args=[[5]],
+    )
+
+
+SIZES = [8, 16, 32]
+
+
+def _scaling_rows():
+    rows = []
+    for merges in SIZES:
+        workload = merge_chain_workload(merges)
+        dbds = measure_workload(workload, DBDS)
+        back = measure_workload(workload, BACKTRACKING)
+        rows.append((merges, dbds, back))
+    return rows
+
+
+def test_backtracking_compile_time_scaling(benchmark):
+    rows = benchmark.pedantic(_scaling_rows, rounds=1, iterations=1)
+    lines = [
+        "=== Backtracking vs simulation (paper: copying made compilation ~10x slower) ===",
+        f"{'merges':>8s}{'dbds ms':>10s}{'backtrack ms':>14s}{'factor':>9s}",
+    ]
+    factors = []
+    for merges, dbds, back in rows:
+        factor = back.compile_time / max(dbds.compile_time, 1e-9)
+        factors.append(factor)
+        lines.append(
+            f"{merges:>8d}{dbds.compile_time * 1e3:>10.2f}"
+            f"{back.compile_time * 1e3:>14.2f}{factor:>9.2f}"
+        )
+    record_figure("backtracking_vs_simulation", "\n".join(lines))
+    assert factors[-1] > 2.0, "backtracking must fall behind on large units"
+    assert factors[-1] > factors[0], "the gap must widen with unit size"
+
+
+def test_cfg_copy_dominates_backtracking_cost(benchmark):
+    """Micro-measurement of the paper's root cause: Algorithm 1 needs
+    one whole-graph copy *per pair*; simulation covers every pair in a
+    single dominator-tree traversal."""
+    from repro.dbds.simulation import SimulationTier
+    from repro.frontend.irbuilder import compile_source
+    from repro.interp.profile import apply_profile, profile_program
+    from repro.ir.copy import copy_graph
+    from repro.opts.inline import InliningPhase
+
+    workload = generate_workload(SCALA_DACAPO, "scalac")
+    program = compile_source(workload.source)
+    collector = profile_program(program, workload.entry, workload.profile_args)
+    apply_profile(program, collector)
+    graph = program.function("main")
+    InliningPhase(program).run(graph)
+
+    def one_simulation():
+        return SimulationTier(graph, program).run()
+
+    benchmark.pedantic(one_simulation, rounds=3, iterations=1)
+
+    t0 = time.perf_counter()
+    candidates = SimulationTier(graph, program).run()
+    sim_time = time.perf_counter() - t0
+    pair_count = max(len(candidates), 1)
+
+    t0 = time.perf_counter()
+    copy_graph(graph)
+    copy_time = time.perf_counter() - t0
+
+    backtracking_copy_cost = copy_time * pair_count
+    record_figure(
+        "copy_vs_simulation",
+        "=== One CFG copy per pair (Algorithm 1) vs one simulation pass ===\n"
+        f"pairs: {pair_count}  simulation pass: {sim_time * 1e3:.2f} ms  "
+        f"copies for all pairs: {backtracking_copy_cost * 1e3:.2f} ms",
+    )
+    assert backtracking_copy_cost > sim_time * 0.5

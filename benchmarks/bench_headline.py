@@ -1,0 +1,68 @@
+"""Experiment H1 — the paper's headline numbers (abstract + Section 8).
+
+Paper: peak performance improvements of **up to 40%** with a **mean of
++5.89%**, at a mean compile-time increase of **+18.44%** and code-size
+increase of **+9.93%** (means across the four suites).
+
+This benchmark runs all four suites and aggregates:
+* the maximum per-benchmark speedup ("up to X%"),
+* the cross-suite geometric-mean speedup / compile time / code size.
+
+Shape checks: a clearly positive mean speedup with standout individual
+benchmarks, bought with extra compilation time.
+"""
+
+from _support import record_figure
+
+from repro.bench.harness import run_suite
+from repro.bench.stats import format_percent, geometric_mean
+from repro.bench.workloads.suites import ALL_SUITES
+
+
+def _run_all():
+    return {name: run_suite(profile) for name, profile in ALL_SUITES.items()}
+
+
+def test_headline_means(benchmark):
+    reports = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    speedups, ctimes, sizes, best = [], [], [], ("", 0.0)
+    for report in reports.values():
+        for row in report.rows:
+            s = row.speedup("dbds")
+            speedups.append(1.0 + s / 100.0)
+            ctimes.append(1.0 + row.compile_time_increase("dbds") / 100.0)
+            sizes.append(1.0 + row.code_size_increase("dbds") / 100.0)
+            if s > best[1]:
+                best = (f"{report.suite}/{row.workload}", s)
+
+    mean_speedup = (geometric_mean(speedups) - 1.0) * 100.0
+    mean_ctime = (geometric_mean(ctimes) - 1.0) * 100.0
+    mean_size = (geometric_mean(sizes) - 1.0) * 100.0
+
+    lines = [
+        "=== Headline (paper: up to +40% perf, mean +5.89% perf, "
+        "+18.44% compile time, +9.93% code size) ===",
+        f"benchmarks measured : {len(speedups)}",
+        f"max speedup         : {format_percent(best[1])} ({best[0]})",
+        f"mean speedup        : {format_percent(mean_speedup)}",
+        f"mean compile time   : {format_percent(mean_ctime)}",
+        f"mean code size      : {format_percent(mean_size)}",
+    ]
+    for name, report in reports.items():
+        lines.append(
+            f"  {name:<13s} perf {format_percent(report.geomean_speedup('dbds')):>9s}"
+            f"  ctime {format_percent(report.geomean_compile_time('dbds')):>9s}"
+            f"  size {format_percent(report.geomean_code_size('dbds')):>9s}"
+        )
+    record_figure("headline", "\n".join(lines))
+
+    assert mean_speedup > 0.0, "DBDS must improve the overall mean"
+    assert best[1] > mean_speedup, "standout benchmarks exceed the mean"
+    assert mean_ctime > 0.0, "duplication costs compile time"
+    # Java DaCapo benefits least — the paper's suite ordering.
+    assert reports["java-dacapo"].geomean_speedup("dbds") <= max(
+        reports["micro"].geomean_speedup("dbds"),
+        reports["octane"].geomean_speedup("dbds"),
+        reports["scala-dacapo"].geomean_speedup("dbds"),
+    )

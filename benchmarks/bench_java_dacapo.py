@@ -1,0 +1,28 @@
+"""Experiment T5 — Figure 5: Java DaCapo under baseline / DBDS / dupalot.
+
+Paper geomeans: DBDS +0.99% perf / +24.92% compile time / +15.90% size;
+dupalot −0.14% perf / +50.08% compile time / +38.22% size.
+
+Shape checks (absolute numbers are not expected to match a Xeon+HotSpot
+testbed; see DESIGN.md/EXPERIMENTS.md):
+* DBDS does not lose performance on the suite geomean;
+* dupalot produces at least as much code as DBDS;
+* this suite benefits the least of the four (checked in bench_headline).
+"""
+
+from _support import record_figure
+
+from repro.bench.harness import format_suite_report, run_suite
+from repro.bench.workloads.suites import JAVA_DACAPO
+
+
+def test_fig5_java_dacapo(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_suite(JAVA_DACAPO), rounds=1, iterations=1
+    )
+    record_figure("fig5_java_dacapo", format_suite_report(report))
+    assert report.geomean_speedup("dbds") > -1.0
+    assert (
+        report.geomean_code_size("dupalot")
+        >= report.geomean_code_size("dbds") - 1e-6
+    )

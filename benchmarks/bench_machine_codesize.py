@@ -1,0 +1,63 @@
+"""Experiment M1 — code size measured where the paper measures it.
+
+The paper's code-size metric is *machine code after installation*; at
+that level duplicated blocks survive even when IR-level folding shrank
+the node count (EXPERIMENTS.md divergence #2).  This bench recomputes
+the Figure 5/6 code-size columns at the back end's emitted-bytes level
+for the Java and Scala DaCapo suites.
+
+Shape checks (the paper's Figure 5/6 code-size ordering):
+* dupalot emits more bytes than DBDS (geomean);
+* DBDS emits at least roughly as many bytes as the baseline.
+"""
+
+from _support import record_figure
+
+from repro.backend import compile_to_machine, program_bytes
+from repro.bench.stats import format_percent, geometric_mean
+from repro.bench.workloads.suites import JAVA_DACAPO, SCALA_DACAPO, generate_suite
+from repro.pipeline.compiler import compile_and_profile
+from repro.pipeline.config import BASELINE, DBDS, DUPALOT
+
+
+def _machine_bytes(workload, config) -> int:
+    program, _ = compile_and_profile(
+        workload.source, workload.entry, workload.profile_args, config
+    )
+    return program_bytes(compile_to_machine(program))
+
+
+def _run():
+    rows = []
+    for profile in (JAVA_DACAPO, SCALA_DACAPO):
+        for workload in generate_suite(profile):
+            base = _machine_bytes(workload, BASELINE)
+            dbds = _machine_bytes(workload, DBDS)
+            dupalot = _machine_bytes(workload, DUPALOT)
+            rows.append((f"{profile.suite}/{workload.name}", base, dbds, dupalot))
+    return rows
+
+
+def test_machine_code_size(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        "=== Machine-level code size (paper Figures 5/6, size columns) ===",
+        f"{'workload':<26s}{'base B':>9s}{'dbds':>9s}{'dupalot':>9s}",
+    ]
+    dbds_ratios, dupalot_ratios = [], []
+    for name, base, dbds, dupalot in rows:
+        dbds_ratios.append(dbds / base)
+        dupalot_ratios.append(dupalot / base)
+        lines.append(
+            f"{name:<26s}{base:>9d}{format_percent((dbds / base - 1) * 100):>9s}"
+            f"{format_percent((dupalot / base - 1) * 100):>9s}"
+        )
+    dbds_mean = (geometric_mean(dbds_ratios) - 1) * 100
+    dupalot_mean = (geometric_mean(dupalot_ratios) - 1) * 100
+    lines.append(
+        f"geomean size increase: dbds {format_percent(dbds_mean)}  "
+        f"dupalot {format_percent(dupalot_mean)} "
+        "(paper Fig 5: +15.9% / +38.2%, Fig 6: +6.9% / +26.3%)"
+    )
+    record_figure("machine_code_size", "\n".join(lines))
+    assert dupalot_mean > dbds_mean, "dupalot must emit more machine code"

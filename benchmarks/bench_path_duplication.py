@@ -1,0 +1,66 @@
+"""Experiment P1 — Section 8 (future work): path-based duplication.
+
+"The current optimization tier implementation cannot duplicate over
+multiple merges along paths although the simulation tier can simulate
+along paths.  We want to conduct experiments evaluating ... if we can
+increase peak performance even further."
+
+This bench runs that experiment: the ``path-dbds`` configuration
+extends every kept duplication along the ensuing Goto chain through
+further merges (re-simulating each hop) and is compared against plain
+DBDS on the micro and Scala suites.
+
+Shape checks: path duplication never loses performance versus plain
+DBDS on the suite geomean, and performs at least as many duplications.
+"""
+
+from _support import record_figure
+
+from repro.bench.harness import measure_workload
+from repro.bench.stats import format_percent, geometric_mean
+from repro.bench.workloads.suites import MICRO, SCALA_DACAPO, generate_suite
+from repro.pipeline.config import BASELINE, DBDS, PATH_DBDS
+
+
+def _run():
+    rows = []
+    for profile in (MICRO, SCALA_DACAPO):
+        for workload in generate_suite(profile):
+            base = measure_workload(workload, BASELINE)
+            plain = measure_workload(workload, DBDS)
+            path = measure_workload(workload, PATH_DBDS)
+            rows.append((f"{profile.suite}/{workload.name}", base, plain, path))
+    return rows
+
+
+def test_path_duplication_gains(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        "=== Path duplication (Section 8 future work) ===",
+        f"{'workload':<26s}{'dbds perf':>11s}{'path perf':>11s}"
+        f"{'dbds dups':>11s}{'path dups':>11s}",
+    ]
+    plain_ratios, path_ratios = [], []
+    plain_dups = path_dups = 0
+    for name, base, plain, path in rows:
+        plain_speed = (base.cycles / plain.cycles - 1) * 100
+        path_speed = (base.cycles / path.cycles - 1) * 100
+        plain_ratios.append(base.cycles / plain.cycles)
+        path_ratios.append(base.cycles / path.cycles)
+        plain_dups += plain.duplications
+        path_dups += path.duplications
+        lines.append(
+            f"{name:<26s}{format_percent(plain_speed):>11s}"
+            f"{format_percent(path_speed):>11s}"
+            f"{plain.duplications:>11d}{path.duplications:>11d}"
+        )
+    plain_mean = (geometric_mean(plain_ratios) - 1) * 100
+    path_mean = (geometric_mean(path_ratios) - 1) * 100
+    lines.append(
+        f"geomean: dbds {format_percent(plain_mean)}  "
+        f"path-dbds {format_percent(path_mean)}  "
+        f"(dups {plain_dups} vs {path_dups})"
+    )
+    record_figure("path_duplication", "\n".join(lines))
+    assert path_dups >= plain_dups
+    assert path_mean > plain_mean - 2.0  # never meaningfully worse

@@ -1,0 +1,63 @@
+"""Experiment P2 — loop peeling as duplication at loop headers.
+
+DBDS excludes loop headers from its candidate set (duplicating a merge
+with a back edge is loop peeling).  This bench measures what that
+exclusion leaves on the table: the ``peel-dbds`` configuration peels
+constant-entry loops before running DBDS, so the first iteration
+specializes exactly like an ordinary duplicated merge would.
+
+Shape checks: peeling never loses performance versus plain DBDS on the
+geomean, and costs extra code size (the peeled copies).
+"""
+
+from _support import record_figure
+
+from repro.bench.harness import measure_workload
+from repro.bench.stats import format_percent, geometric_mean
+from repro.bench.workloads.suites import JAVA_DACAPO, OCTANE, generate_suite
+from repro.pipeline.config import BASELINE, DBDS, PEEL_DBDS
+
+
+def _run():
+    rows = []
+    for profile in (JAVA_DACAPO, OCTANE):
+        for workload in generate_suite(profile):
+            base = measure_workload(workload, BASELINE)
+            plain = measure_workload(workload, DBDS)
+            peel = measure_workload(workload, PEEL_DBDS)
+            rows.append((f"{profile.suite}/{workload.name}", base, plain, peel))
+    return rows
+
+
+def test_peeling_extension(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = [
+        "=== Loop peeling + DBDS (duplication at loop headers) ===",
+        f"{'workload':<26s}{'dbds perf':>11s}{'peel perf':>11s}"
+        f"{'dbds size':>11s}{'peel size':>11s}",
+    ]
+    plain_perf, peel_perf, plain_size, peel_size = [], [], [], []
+    for name, base, plain, peel in rows:
+        plain_perf.append(base.cycles / plain.cycles)
+        peel_perf.append(base.cycles / peel.cycles)
+        plain_size.append(plain.code_size / base.code_size)
+        peel_size.append(peel.code_size / base.code_size)
+        lines.append(
+            f"{name:<26s}"
+            f"{format_percent((plain_perf[-1] - 1) * 100):>11s}"
+            f"{format_percent((peel_perf[-1] - 1) * 100):>11s}"
+            f"{format_percent((plain_size[-1] - 1) * 100):>11s}"
+            f"{format_percent((peel_size[-1] - 1) * 100):>11s}"
+        )
+    plain_mean = (geometric_mean(plain_perf) - 1) * 100
+    peel_mean = (geometric_mean(peel_perf) - 1) * 100
+    size_plain = (geometric_mean(plain_size) - 1) * 100
+    size_peel = (geometric_mean(peel_size) - 1) * 100
+    lines.append(
+        f"geomean perf: dbds {format_percent(plain_mean)}  "
+        f"peel-dbds {format_percent(peel_mean)}  |  size: "
+        f"{format_percent(size_plain)} vs {format_percent(size_peel)}"
+    )
+    record_figure("peeling", "\n".join(lines))
+    assert peel_mean > plain_mean - 2.0
+    assert size_peel >= size_plain - 1.0

@@ -1,0 +1,27 @@
+"""Experiment T6 — Figure 6: Scala DaCapo under baseline / DBDS / dupalot.
+
+Paper geomeans: DBDS +3.15% perf / +11.32% compile time / +6.88% size;
+dupalot +2.07% perf / +28.40% compile time / +26.27% size.
+
+Shape checks: DBDS improves performance (the boxing/type-check-heavy
+suite benefits more than Java DaCapo), and dupalot pays more code size
+than DBDS for no better performance.
+"""
+
+from _support import record_figure
+
+from repro.bench.harness import format_suite_report, run_suite
+from repro.bench.workloads.suites import SCALA_DACAPO
+
+
+def test_fig6_scala_dacapo(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_suite(SCALA_DACAPO), rounds=1, iterations=1
+    )
+    record_figure("fig6_scala_dacapo", format_suite_report(report))
+    assert report.geomean_speedup("dbds") > 0.0
+    assert (
+        report.geomean_code_size("dupalot")
+        >= report.geomean_code_size("dbds") - 1e-6
+    )
+    assert report.geomean_speedup("dbds") >= report.geomean_speedup("dupalot") - 5.0

@@ -1,0 +1,70 @@
+"""A tour of the back end: from optimized IR to 'machine code'.
+
+Shows the lower half of the paper's Section 5.1 pipeline on a small
+function: lowering to LIR (phis become parallel moves), liveness
+intervals, linear-scan register allocation under pressure, execution on
+the register machine, and the emitted-bytes code size the paper's
+evaluation measures.
+
+Run:  python examples/backend_tour.py
+"""
+
+from repro import DBDS, compile_and_profile
+from repro.backend import (
+    Machine,
+    allocate,
+    compute_intervals,
+    function_bytes,
+    lower_program,
+    program_bytes,
+)
+
+SOURCE = """
+fn fib(n: int) -> int {
+  var a: int = 0;
+  var b: int = 1;
+  var i: int = 0;
+  while (i < n) {
+    var t: int = a + b;
+    a = b;
+    b = t;
+    i = i + 1;
+  }
+  return a;
+}
+fn main(n: int) -> int { return fib(n); }
+"""
+
+
+def main() -> None:
+    program, _ = compile_and_profile(SOURCE, "main", [[15]], DBDS)
+
+    print("=== LIR before register allocation ===")
+    lir = lower_program(program)
+    fib = lir.function("fib")
+    print(fib.describe())
+    print()
+
+    print("=== live intervals ===")
+    for interval in compute_intervals(fib):
+        print(f"  {interval!r}")
+    print()
+
+    print("=== after linear scan with 3 registers ===")
+    result = allocate(fib, register_count=3)
+    print(f"spills: {result.spills}, frame slots: {fib.frame_slots}")
+    print(fib.describe())
+    print()
+
+    # Allocate the rest of the program and run it on the machine.
+    for name, fn in lir.functions.items():
+        if name != "fib":
+            allocate(fn, register_count=3)
+    machine = Machine(lir)
+    print("fib(15) on the register machine:", machine.run("main", [15]).value)
+    print(f"fib emitted bytes: {function_bytes(fib)}")
+    print(f"whole program    : {program_bytes(lir)} bytes")
+
+
+if __name__ == "__main__":
+    main()

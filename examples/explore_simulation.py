@@ -1,0 +1,90 @@
+"""Poking at the DBDS machinery directly: simulate, rank, decide.
+
+This example drives the three tiers by hand instead of through the
+pipeline — useful to understand what the phase does and to debug
+trade-off decisions:
+
+1. the **simulation tier** lists every predecessor-merge pair with its
+   estimated cycles-saved, code-size cost and probability;
+2. the **trade-off tier** ranks them and applies `shouldDuplicate`
+   (b x p x 256 > c, plus the size budgets);
+3. the **optimization tier** performs one chosen duplication.
+
+Run:  python examples/explore_simulation.py
+"""
+
+from repro import (
+    SimulationTier,
+    compile_source,
+    duplicate_into,
+    profile_program,
+    apply_profile,
+    should_duplicate,
+    sort_candidates,
+    verify_graph,
+)
+from repro.costmodel.estimator import graph_code_size
+
+SOURCE = """
+fn hot(x: int, y: int) -> int {
+  var p: int;
+  if (x > 4) { p = x; } else { p = 2; }
+  if (y >= 0) { return y / p; }
+  return p * 3 + y;
+}
+fn main(n: int) -> int {
+  var acc: int = 0;
+  var i: int = 0;
+  while (i < n) { acc = acc + hot(i, acc); i = i + 1; }
+  return acc;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    collector = profile_program(program, "main", [[25]])
+    apply_profile(program, collector)
+    graph = program.function("hot")
+
+    print("IR before duplication:")
+    print(graph.describe())
+    print()
+
+    # Tier 1: simulation.
+    tier = SimulationTier(graph, program)
+    candidates = tier.run()
+    print(f"simulation found {len(candidates)} predecessor-merge pairs:")
+    for c in candidates:
+        print(
+            f"  {c.merge.name} -> {c.pred.name}: benefit={c.benefit:.1f} "
+            f"cycles, cost={c.cost:.1f}, p={c.probability:.2f}, "
+            f"fired={sorted(set(c.reasons))}"
+        )
+    print()
+
+    # Tier 2: trade-off.
+    initial_size = graph_code_size(graph)
+    ranked = sort_candidates(candidates)
+    decisions = [
+        (c, should_duplicate(c, graph_code_size(graph), initial_size))
+        for c in ranked
+    ]
+    for c, accepted in decisions:
+        verdict = "DUPLICATE" if accepted else "skip"
+        print(f"  shouldDuplicate({c.merge.name}->{c.pred.name}) = {verdict}")
+    print()
+
+    # Tier 3: optimization — perform the best accepted candidate.
+    chosen = next((c for c, ok in decisions if ok), None)
+    if chosen is None:
+        print("no candidate passed the trade-off")
+        return
+    duplicate_into(graph, chosen.pred, chosen.merge)
+    verify_graph(graph)
+    print(f"after duplicating {chosen.merge.name} into {chosen.pred.name}:")
+    print(graph.describe())
+
+
+if __name__ == "__main__":
+    main()

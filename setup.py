@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows legacy editable installs (`pip install -e . --no-build-isolation`
+via `setup.py develop`) in offline environments that lack the `wheel`
+package; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

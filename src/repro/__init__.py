@@ -1,0 +1,65 @@
+"""DBDS — Dominance-Based Duplication Simulation.
+
+A complete, self-contained reproduction of *"Dominance-Based Duplication
+Simulation (DBDS): Code Duplication to Enable Compiler Optimizations"*
+(Leopoldseder et al., CGO 2018): an SSA compiler for a small imperative
+language, the duplication simulation optimization with its trade-off
+cost model, the baselines it is evaluated against, and the benchmark
+harness regenerating the paper's evaluation figures.
+
+Quick start::
+
+    from repro import compile_and_profile, measure_performance, DBDS
+
+    program, report = compile_and_profile(source, "main", [[10]], DBDS)
+    cycles, _ = measure_performance(program, "main", [[10]])
+
+See README.md for the language reference and architecture overview.
+"""
+
+from .dbds.duplicate import DuplicationError, can_duplicate, duplicate_into
+from .dbds.phase import DbdsConfig, DbdsPhase, DbdsStats
+from .dbds.simulation import SimulationResult, SimulationTier
+from .dbds.tradeoff import TradeOffConfig, should_duplicate, sort_candidates
+from .frontend.irbuilder import build_program, compile_source
+from .frontend.lexer import CompileError
+from .frontend.parser import parse_module
+from .interp.interpreter import (
+    ExecutionResult,
+    HeapArray,
+    HeapObject,
+    Interpreter,
+    observable_outcome,
+)
+from .interp.profile import apply_profile, profile_program
+from .ir import Graph, Program, verify_graph, verify_program
+from .pipeline.compiler import (
+    CompilationReport,
+    Compiler,
+    UnitMetrics,
+    compile_and_profile,
+    measure_performance,
+)
+from .pipeline.config import (
+    BACKTRACKING,
+    BASELINE,
+    CONFIGURATIONS,
+    DBDS,
+    DUPALOT,
+    CompilerConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apply_profile", "BACKTRACKING", "BASELINE", "build_program",
+    "can_duplicate", "CompilationReport", "compile_and_profile",
+    "CompileError", "compile_source", "Compiler", "CompilerConfig",
+    "CONFIGURATIONS", "DBDS", "DbdsConfig", "DbdsPhase", "DbdsStats",
+    "DUPALOT", "duplicate_into", "DuplicationError", "ExecutionResult",
+    "Graph", "HeapArray", "HeapObject", "Interpreter",
+    "measure_performance", "observable_outcome", "parse_module",
+    "profile_program", "Program", "should_duplicate", "SimulationResult",
+    "SimulationTier", "sort_candidates", "TradeOffConfig", "UnitMetrics",
+    "verify_graph", "verify_program",
+]

@@ -1,0 +1,211 @@
+"""Command-line interface: compile and run MiniLang programs.
+
+Usage::
+
+    python -m repro run program.mini --entry main --args 10 --config dbds
+    python -m repro compile program.mini --config dupalot --dump
+    python -m repro bench --suite micro
+
+``run`` JIT-compiles (profile run + optimization) and executes, printing
+the result and the simulated cycle count.  ``compile`` prints per-unit
+metrics and optionally the optimized IR.  ``bench`` regenerates one of
+the paper's evaluation figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .bench.harness import format_suite_report, run_suite
+from .bench.workloads.suites import ALL_SUITES
+from .frontend.irbuilder import compile_source
+from .interp.interpreter import Interpreter
+from .pipeline.compiler import Compiler, compile_and_profile, measure_performance
+from .pipeline.config import CONFIGURATIONS
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("source", type=pathlib.Path, help="MiniLang source file")
+    parser.add_argument("--entry", default="main", help="entry function")
+    parser.add_argument(
+        "--config",
+        default="dbds",
+        choices=sorted(CONFIGURATIONS),
+        help="compiler configuration",
+    )
+    parser.add_argument(
+        "--args",
+        nargs="*",
+        type=int,
+        default=[10],
+        help="integer arguments for the entry function",
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = args.source.read_text()
+    config = CONFIGURATIONS[args.config]
+    program, report = compile_and_profile(
+        source, args.entry, [args.args], config
+    )
+    cycles, results = measure_performance(program, args.entry, [args.args])
+    result = results[0]
+    if result.trapped:
+        print(f"trap: {result.trap}", file=sys.stderr)
+        return 1
+    print(f"result          : {result.value}")
+    print(f"simulated cycles: {cycles:.0f}")
+    print(f"compile time    : {report.total_compile_time * 1e3:.2f} ms")
+    print(f"code size       : {report.total_code_size:.0f}")
+    print(f"duplications    : {report.total_duplications}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = args.source.read_text()
+    config = CONFIGURATIONS[args.config]
+    program = compile_source(source)
+    report = Compiler(config).compile_program(program)
+    print(f"{'function':<20s}{'size':>8s}{'ctime ms':>10s}{'dups':>6s}")
+    for unit in report.units:
+        print(
+            f"{unit.function:<20s}{unit.code_size:>8.0f}"
+            f"{unit.compile_time * 1e3:>10.2f}{unit.duplications:>6d}"
+        )
+    if args.dump:
+        print()
+        print(program.describe())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    profile = ALL_SUITES[args.suite]
+    report = run_suite(profile, seed=args.seed)
+    print(format_suite_report(report))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from .bench.report import render_markdown, run_evaluation
+
+    result = run_evaluation(suites=args.suites, seed=args.seed)
+    markdown = render_markdown(result)
+    args.out.write_text(markdown)
+    headline = result.headline()
+    print(f"report written to {args.out}")
+    print(
+        f"mean speedup {headline['mean_speedup']:+.2f}%  "
+        f"(max {headline['max_speedup']:+.2f}% on "
+        f"{headline['max_speedup_benchmark']})"
+    )
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .dbds.explain import explain_graph
+    from .interp.profile import apply_profile, profile_program
+    from .opts.canonicalize import CanonicalizerPhase
+    from .opts.inline import InliningPhase
+
+    program = compile_source(args.source.read_text())
+    if args.profile_args is not None:
+        collector = profile_program(program, args.entry, [args.profile_args])
+        apply_profile(program, collector)
+    names = [args.function] if args.function else list(program.functions)
+    for name in names:
+        graph = program.function(name)
+        InliningPhase(program).run(graph)
+        CanonicalizerPhase().run(graph)
+        print(explain_graph(graph, program))
+        print()
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from .bench.workloads.suites import generate_workload
+
+    profile = ALL_SUITES[args.suite]
+    name = args.name or profile.benchmark_names[0]
+    if name not in profile.benchmark_names:
+        print(
+            f"unknown benchmark {name!r}; choose from "
+            f"{', '.join(profile.benchmark_names)}",
+            file=sys.stderr,
+        )
+        return 1
+    workload = generate_workload(profile, name, args.seed)
+    print(workload.source)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DBDS reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="JIT-compile and execute")
+    _add_common(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    compile_parser = sub.add_parser("compile", help="compile and show metrics")
+    _add_common(compile_parser)
+    compile_parser.add_argument(
+        "--dump", action="store_true", help="print the optimized IR"
+    )
+    compile_parser.set_defaults(func=cmd_compile)
+
+    bench_parser = sub.add_parser("bench", help="run one evaluation suite")
+    bench_parser.add_argument("--suite", default="micro", choices=sorted(ALL_SUITES))
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.set_defaults(func=cmd_bench)
+
+    evaluate_parser = sub.add_parser(
+        "evaluate", help="run the full evaluation, write a markdown report"
+    )
+    evaluate_parser.add_argument(
+        "--suites",
+        nargs="*",
+        choices=sorted(ALL_SUITES),
+        default=None,
+        help="suites to run (default: all four)",
+    )
+    evaluate_parser.add_argument(
+        "--out", type=pathlib.Path, default=pathlib.Path("evaluation_report.md")
+    )
+    evaluate_parser.add_argument("--seed", type=int, default=0)
+    evaluate_parser.set_defaults(func=cmd_evaluate)
+
+    explain_parser = sub.add_parser(
+        "explain", help="report every duplication candidate and decision"
+    )
+    explain_parser.add_argument("source", type=pathlib.Path)
+    explain_parser.add_argument(
+        "--function", default=None, help="only this function (default: all)"
+    )
+    explain_parser.add_argument(
+        "--profile-args",
+        nargs="*",
+        type=int,
+        default=None,
+        help="profile with these entry args before explaining",
+    )
+    explain_parser.add_argument("--entry", default="main")
+    explain_parser.set_defaults(func=cmd_explain)
+
+    workload_parser = sub.add_parser(
+        "workload", help="print a generated benchmark's MiniLang source"
+    )
+    workload_parser.add_argument("--suite", default="micro", choices=sorted(ALL_SUITES))
+    workload_parser.add_argument("--name", default=None, help="benchmark name")
+    workload_parser.add_argument("--seed", type=int, default=0)
+    workload_parser.set_defaults(func=cmd_workload)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

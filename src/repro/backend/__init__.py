@@ -1,0 +1,50 @@
+"""The compiler back end: lowering, register allocation, emission.
+
+Reproduces the lower half of the paper's Section 5.1 system overview —
+the IR "is then lowered into a platform specific version on which ...
+register allocation [is] done.  In a final step machine code is
+emitted."  See :mod:`repro.backend.lir` for the design.
+
+Typical use::
+
+    from repro.backend import compile_to_machine, Machine, program_bytes
+
+    lir = compile_to_machine(program)         # lower + allocate
+    result = Machine(lir).run("main", [10])   # execute
+    size = program_bytes(lir)                 # installed-code bytes
+"""
+
+from .codesize import function_bytes, instruction_bytes, program_bytes
+from .lir import (
+    Immediate,
+    LirBlock,
+    LirFunction,
+    LirProgram,
+    PReg,
+    StackSlot,
+    VReg,
+)
+from .liveness import LiveInterval, compute_intervals, compute_liveness
+from .lowering import LoweringError, lower_graph, lower_program
+from .machine import Machine, MachineResult
+from .regalloc import DEFAULT_REGISTER_COUNT, AllocationResult, allocate, allocate_program
+
+
+def compile_to_machine(program, register_count: int = DEFAULT_REGISTER_COUNT):
+    """Lower a (typically already optimized) IR program and allocate
+    registers; the result is executable by :class:`Machine` and sizable
+    by :func:`program_bytes`."""
+    lir = lower_program(program)
+    allocate_program(lir, register_count)
+    return lir
+
+
+__all__ = [
+    "allocate", "allocate_program", "AllocationResult",
+    "compile_to_machine", "compute_intervals", "compute_liveness",
+    "DEFAULT_REGISTER_COUNT", "function_bytes", "Immediate",
+    "instruction_bytes", "LirBlock", "LirFunction", "LirProgram",
+    "LiveInterval", "lower_graph", "lower_program", "LoweringError",
+    "Machine", "MachineResult", "PReg", "program_bytes", "StackSlot",
+    "VReg",
+]

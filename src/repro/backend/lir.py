@@ -1,0 +1,484 @@
+"""Low-level IR (LIR): virtual-register instructions.
+
+The paper's system overview (Section 5.1) lowers the high-level IR
+"into a platform specific version on which additional optimizations and
+register allocation are done" before machine code is emitted.  This
+package reproduces that back end in miniature: SSA graphs are lowered
+to LIR over virtual registers (phis become parallel moves on the
+incoming edges), a linear-scan allocator maps virtual registers to a
+finite register file plus stack slots, and the result can be *executed*
+(:mod:`repro.backend.machine`) and *sized* (:mod:`repro.backend.codesize`).
+
+Operands are virtual registers or immediates before allocation and
+physical registers / stack slots after; instructions never change shape
+— spilled values are addressed directly (a CISC-style memory operand),
+which keeps the executor simple while still making register pressure
+cost code size.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..ir.ops import BinOp, CmpOp
+from ..ir.types import Type
+
+_vreg_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register (pre-allocation operand)."""
+
+    id: int
+    hint: str = ""
+
+    def __repr__(self) -> str:
+        return f"v{self.id}" + (f"({self.hint})" if self.hint else "")
+
+
+def fresh_vreg(hint: str = "") -> VReg:
+    return VReg(next(_vreg_ids), hint)
+
+
+@dataclass(frozen=True)
+class Immediate:
+    """A literal operand (int, bool or None)."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class PReg:
+    """A physical register after allocation."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class StackSlot:
+    """A spill slot in the frame after allocation."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"[sp+{self.index}]"
+
+
+Operand = Union[VReg, Immediate, PReg, StackSlot]
+Location = Union[PReg, StackSlot]
+
+
+class LirInstruction:
+    """Base class; subclasses declare used and defined operands."""
+
+    def uses(self) -> list[Operand]:
+        return []
+
+    def defs(self) -> list[Operand]:
+        return []
+
+    def replace_operands(self, mapping: dict[VReg, Location]) -> None:
+        """Rewrite virtual registers to allocated locations in place."""
+        for name in self._operand_fields():
+            value = getattr(self, name)
+            if isinstance(value, VReg):
+                setattr(self, name, mapping[value])
+            elif isinstance(value, list):
+                setattr(
+                    self,
+                    name,
+                    [mapping[v] if isinstance(v, VReg) else v for v in value],
+                )
+
+    def _operand_fields(self) -> list[str]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+@dataclass
+class LirMove(LirInstruction):
+    dst: Operand
+    src: Operand
+
+    def uses(self):
+        return [self.src]
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst", "src"]
+
+    def __repr__(self):
+        return f"mov  {self.dst!r} <- {self.src!r}"
+
+
+@dataclass
+class LirBinOp(LirInstruction):
+    op: BinOp
+    dst: Operand
+    lhs: Operand
+    rhs: Operand
+
+    def uses(self):
+        return [self.lhs, self.rhs]
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst", "lhs", "rhs"]
+
+    def __repr__(self):
+        return f"{self.op.name.lower():<4s} {self.dst!r} <- {self.lhs!r}, {self.rhs!r}"
+
+
+@dataclass
+class LirCmp(LirInstruction):
+    op: CmpOp
+    dst: Operand
+    lhs: Operand
+    rhs: Operand
+
+    def uses(self):
+        return [self.lhs, self.rhs]
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst", "lhs", "rhs"]
+
+    def __repr__(self):
+        return f"cmp{self.op.name.lower():<3s} {self.dst!r} <- {self.lhs!r}, {self.rhs!r}"
+
+
+@dataclass
+class LirNot(LirInstruction):
+    dst: Operand
+    src: Operand
+
+    def uses(self):
+        return [self.src]
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst", "src"]
+
+    def __repr__(self):
+        return f"not  {self.dst!r} <- {self.src!r}"
+
+
+@dataclass
+class LirNeg(LirInstruction):
+    dst: Operand
+    src: Operand
+
+    def uses(self):
+        return [self.src]
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst", "src"]
+
+    def __repr__(self):
+        return f"neg  {self.dst!r} <- {self.src!r}"
+
+
+@dataclass
+class LirNewObject(LirInstruction):
+    dst: Operand
+    class_name: str
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst"]
+
+    def __repr__(self):
+        return f"new  {self.dst!r} <- {self.class_name}"
+
+
+@dataclass
+class LirLoadField(LirInstruction):
+    dst: Operand
+    obj: Operand
+    field_name: str
+
+    def uses(self):
+        return [self.obj]
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst", "obj"]
+
+    def __repr__(self):
+        return f"ldf  {self.dst!r} <- {self.obj!r}.{self.field_name}"
+
+
+@dataclass
+class LirStoreField(LirInstruction):
+    obj: Operand
+    field_name: str
+    src: Operand
+
+    def uses(self):
+        return [self.obj, self.src]
+
+    def _operand_fields(self):
+        return ["obj", "src"]
+
+    def __repr__(self):
+        return f"stf  {self.obj!r}.{self.field_name} <- {self.src!r}"
+
+
+@dataclass
+class LirLoadGlobal(LirInstruction):
+    dst: Operand
+    global_name: str
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst"]
+
+    def __repr__(self):
+        return f"ldg  {self.dst!r} <- @{self.global_name}"
+
+
+@dataclass
+class LirStoreGlobal(LirInstruction):
+    global_name: str
+    src: Operand
+
+    def uses(self):
+        return [self.src]
+
+    def _operand_fields(self):
+        return ["src"]
+
+    def __repr__(self):
+        return f"stg  @{self.global_name} <- {self.src!r}"
+
+
+@dataclass
+class LirNewArray(LirInstruction):
+    dst: Operand
+    element_type: Type
+    length: Operand
+
+    def uses(self):
+        return [self.length]
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst", "length"]
+
+    def __repr__(self):
+        return f"newa {self.dst!r} <- {self.element_type!r}[{self.length!r}]"
+
+
+@dataclass
+class LirArrayLoad(LirInstruction):
+    dst: Operand
+    array: Operand
+    index: Operand
+
+    def uses(self):
+        return [self.array, self.index]
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst", "array", "index"]
+
+    def __repr__(self):
+        return f"lda  {self.dst!r} <- {self.array!r}[{self.index!r}]"
+
+
+@dataclass
+class LirArrayStore(LirInstruction):
+    array: Operand
+    index: Operand
+    src: Operand
+
+    def uses(self):
+        return [self.array, self.index, self.src]
+
+    def _operand_fields(self):
+        return ["array", "index", "src"]
+
+    def __repr__(self):
+        return f"sta  {self.array!r}[{self.index!r}] <- {self.src!r}"
+
+
+@dataclass
+class LirArrayLength(LirInstruction):
+    dst: Operand
+    array: Operand
+
+    def uses(self):
+        return [self.array]
+
+    def defs(self):
+        return [self.dst]
+
+    def _operand_fields(self):
+        return ["dst", "array"]
+
+    def __repr__(self):
+        return f"len  {self.dst!r} <- {self.array!r}"
+
+
+@dataclass
+class LirCall(LirInstruction):
+    dst: Optional[Operand]
+    callee: str
+    args: list[Operand] = field(default_factory=list)
+
+    def uses(self):
+        return list(self.args)
+
+    def defs(self):
+        return [self.dst] if self.dst is not None else []
+
+    def _operand_fields(self):
+        return ["dst", "args"]
+
+    def replace_operands(self, mapping):
+        if isinstance(self.dst, VReg):
+            self.dst = mapping[self.dst]
+        self.args = [
+            mapping[a] if isinstance(a, VReg) else a for a in self.args
+        ]
+
+    def __repr__(self):
+        target = f"{self.dst!r} <- " if self.dst is not None else ""
+        return f"call {target}{self.callee}({', '.join(map(repr, self.args))})"
+
+
+# ----------------------------------------------------------------------
+# Terminators
+# ----------------------------------------------------------------------
+@dataclass
+class LirJump(LirInstruction):
+    target: int  # LIR block id
+
+    def _operand_fields(self):
+        return []
+
+    def __repr__(self):
+        return f"jmp  L{self.target}"
+
+
+@dataclass
+class LirBranch(LirInstruction):
+    condition: Operand
+    true_target: int
+    false_target: int
+
+    def uses(self):
+        return [self.condition]
+
+    def _operand_fields(self):
+        return ["condition"]
+
+    def __repr__(self):
+        return f"br   {self.condition!r} ? L{self.true_target} : L{self.false_target}"
+
+
+@dataclass
+class LirReturn(LirInstruction):
+    src: Optional[Operand] = None
+
+    def uses(self):
+        return [self.src] if self.src is not None else []
+
+    def _operand_fields(self):
+        return ["src"] if self.src is not None else []
+
+    def replace_operands(self, mapping):
+        if isinstance(self.src, VReg):
+            self.src = mapping[self.src]
+
+    def __repr__(self):
+        return f"ret  {self.src!r}" if self.src is not None else "ret"
+
+
+# ----------------------------------------------------------------------
+# Containers
+# ----------------------------------------------------------------------
+@dataclass
+class LirBlock:
+    """A LIR basic block (instructions end with a terminator)."""
+
+    id: int
+    instructions: list[LirInstruction] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> LirInstruction:
+        return self.instructions[-1]
+
+    def describe(self) -> str:
+        body = "\n".join(f"  {ins!r}" for ins in self.instructions)
+        return f"L{self.id}:\n{body}"
+
+
+@dataclass
+class LirFunction:
+    """A lowered function: LIR blocks plus frame information."""
+
+    name: str
+    #: virtual registers holding the parameters on entry
+    param_regs: list[VReg]
+    blocks: dict[int, LirBlock] = field(default_factory=dict)
+    entry: int = 0
+    #: filled by the register allocator
+    frame_slots: int = 0
+    register_count: int = 0
+
+    def block_order(self) -> list[LirBlock]:
+        return [self.blocks[block_id] for block_id in sorted(self.blocks)]
+
+    def instruction_count(self) -> int:
+        return sum(len(b.instructions) for b in self.blocks.values())
+
+    def describe(self) -> str:
+        header = f"lir {self.name}({', '.join(map(repr, self.param_regs))})"
+        return header + "\n" + "\n".join(b.describe() for b in self.block_order())
+
+
+@dataclass
+class LirProgram:
+    """All lowered functions plus the source program's class table."""
+
+    functions: dict[str, LirFunction] = field(default_factory=dict)
+    class_table: object = None
+    globals: dict[str, Type] = field(default_factory=dict)
+
+    def function(self, name: str) -> LirFunction:
+        return self.functions[name]

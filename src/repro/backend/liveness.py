@@ -1,0 +1,113 @@
+"""Virtual-register liveness and live intervals for linear scan.
+
+Classic backward dataflow over the LIR CFG, followed by interval
+construction over a linear instruction numbering (blocks in id order,
+which lowering assigns in reverse post order, so definitions come
+before same-trace uses and loop bodies lie between their header's
+definition points and back-edge uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .lir import LirFunction, VReg
+
+
+def _vreg_uses(instruction) -> set[VReg]:
+    return {op for op in instruction.uses() if isinstance(op, VReg)}
+
+
+def _vreg_defs(instruction) -> set[VReg]:
+    return {op for op in instruction.defs() if isinstance(op, VReg)}
+
+
+def compute_liveness(function: LirFunction) -> tuple[dict, dict]:
+    """Per-block live-in / live-out sets of virtual registers."""
+    blocks = function.block_order()
+    live_in: dict[int, set[VReg]] = {b.id: set() for b in blocks}
+    live_out: dict[int, set[VReg]] = {b.id: set() for b in blocks}
+
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            out = set()
+            for succ in block.successors:
+                out |= live_in[succ]
+            live = set(out)
+            for ins in reversed(block.instructions):
+                live -= _vreg_defs(ins)
+                live |= _vreg_uses(ins)
+            if out != live_out[block.id] or live != live_in[block.id]:
+                live_out[block.id] = out
+                live_in[block.id] = live
+                changed = True
+    return live_in, live_out
+
+
+@dataclass
+class LiveInterval:
+    """Half-open [start, end] positions a virtual register is live."""
+
+    vreg: VReg
+    start: int
+    end: int
+
+    def overlaps(self, other: "LiveInterval") -> bool:
+        return self.start <= other.end and other.start <= self.end
+
+    def __repr__(self) -> str:
+        return f"<{self.vreg!r}: {self.start}..{self.end}>"
+
+
+def number_instructions(function: LirFunction) -> dict[int, tuple[int, int]]:
+    """block id -> (first position, last position) in linear order."""
+    spans: dict[int, tuple[int, int]] = {}
+    position = 0
+    for block in function.block_order():
+        first = position
+        position += len(block.instructions)
+        spans[block.id] = (first, position - 1)
+    return spans
+
+
+def compute_intervals(function: LirFunction) -> list[LiveInterval]:
+    """One conservative interval per virtual register.
+
+    Live-in at a block start extends the interval to the block's first
+    position; live-out extends it to the last — which covers values live
+    across loop back edges.
+    """
+    live_in, live_out = compute_liveness(function)
+    spans = number_instructions(function)
+    starts: dict[VReg, int] = {}
+    ends: dict[VReg, int] = {}
+
+    def note(vreg: VReg, position: int) -> None:
+        if vreg not in starts or position < starts[vreg]:
+            starts[vreg] = position
+        if vreg not in ends or position > ends[vreg]:
+            ends[vreg] = position
+
+    for vreg in function.param_regs:
+        note(vreg, 0)
+
+    position = 0
+    for block in function.block_order():
+        first, last = spans[block.id]
+        for vreg in live_in[block.id]:
+            note(vreg, first)
+        for vreg in live_out[block.id]:
+            note(vreg, last)
+        for ins in block.instructions:
+            for vreg in _vreg_uses(ins):
+                note(vreg, position)
+            for vreg in _vreg_defs(ins):
+                note(vreg, position)
+            position += 1
+
+    return sorted(
+        (LiveInterval(v, starts[v], ends[v]) for v in starts),
+        key=lambda iv: (iv.start, iv.end, iv.vreg.id),
+    )

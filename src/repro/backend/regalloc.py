@@ -1,0 +1,94 @@
+"""Linear-scan register allocation (Poletto & Sarkar style).
+
+Intervals are walked in start order; expired intervals free their
+register; when the register file is exhausted the interval with the
+furthest end is spilled to a stack slot.  Spilled values are addressed
+directly through CISC-style stack operands (see package docstring), so
+no fix-up code is inserted — register pressure shows up as code size
+(stack operands encode larger) rather than extra instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .lir import LirFunction, Location, PReg, StackSlot, VReg
+from .liveness import LiveInterval, compute_intervals
+
+DEFAULT_REGISTER_COUNT = 8
+
+
+@dataclass
+class AllocationResult:
+    """Mapping and statistics of one allocation run."""
+
+    mapping: dict[VReg, Location] = field(default_factory=dict)
+    intervals: list[LiveInterval] = field(default_factory=list)
+    spills: int = 0
+    registers_used: int = 0
+    frame_slots: int = 0
+
+
+def allocate(
+    function: LirFunction, register_count: int = DEFAULT_REGISTER_COUNT
+) -> AllocationResult:
+    """Allocate locations for every virtual register and rewrite the
+    function's instructions in place."""
+    result = AllocationResult(intervals=compute_intervals(function))
+    free = list(range(register_count - 1, -1, -1))  # pop() yields r0 first
+    active: list[tuple[LiveInterval, int]] = []  # (interval, register)
+    next_slot = 0
+
+    for interval in result.intervals:
+        # Expire old intervals.
+        still_active = []
+        for act, reg in active:
+            if act.end < interval.start:
+                free.append(reg)
+            else:
+                still_active.append((act, reg))
+        active = still_active
+
+        if free:
+            reg = free.pop()
+            active.append((interval, reg))
+            result.mapping[interval.vreg] = PReg(reg)
+            continue
+        # Spill the interval that ends last (it blocks the most).
+        victim_index = max(
+            range(len(active)), key=lambda i: active[i][0].end
+        )
+        victim, victim_reg = active[victim_index]
+        if victim.end > interval.end:
+            # Steal the victim's register; the victim goes to the stack.
+            result.mapping[victim.vreg] = StackSlot(next_slot)
+            next_slot += 1
+            result.spills += 1
+            active[victim_index] = (interval, victim_reg)
+            result.mapping[interval.vreg] = PReg(victim_reg)
+        else:
+            result.mapping[interval.vreg] = StackSlot(next_slot)
+            next_slot += 1
+            result.spills += 1
+
+    result.registers_used = min(register_count, len(result.intervals))
+    result.frame_slots = next_slot
+
+    for block in function.block_order():
+        for ins in block.instructions:
+            ins.replace_operands(result.mapping)
+    # Parameters land in their allocated homes on entry.
+    function.param_regs = [
+        result.mapping[reg] for reg in function.param_regs
+    ]
+    function.frame_slots = next_slot
+    function.register_count = register_count
+    return result
+
+
+def allocate_program(lir_program, register_count: int = DEFAULT_REGISTER_COUNT):
+    """Allocate every function; returns per-function results."""
+    return {
+        name: allocate(fn, register_count)
+        for name, fn in lir_program.functions.items()
+    }

@@ -1,0 +1,166 @@
+"""The evaluation harness: runs suite × configuration and prints the
+per-benchmark series plus geometric-mean tables of Figures 5–8.
+
+For every workload and configuration the harness measures the three
+paper metrics:
+
+* **peak performance** — simulated cycles of the measured run (the
+  harness reports the speedup over baseline; higher is better),
+* **compile time** — wall-clock of the optimization pipeline (lower is
+  better; reported as increase over baseline),
+* **code size** — node-cost-model size of all compiled units (lower is
+  better; reported as increase over baseline).
+
+Each configuration recompiles from source so compilation is always from
+the same starting IR (run-to-run isolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..pipeline.compiler import compile_and_profile, measure_performance
+from ..pipeline.config import BASELINE, CompilerConfig, DBDS, DUPALOT
+from .stats import format_percent, geometric_mean, speedup_percent
+from .workloads.suites import SuiteProfile, Workload, generate_suite
+
+
+@dataclass
+class Measurement:
+    """One (workload, configuration) cell."""
+
+    workload: str
+    config: str
+    cycles: float
+    compile_time: float
+    code_size: float
+    duplications: int
+
+
+@dataclass
+class BenchmarkRow:
+    """One workload across all configurations, normalized to baseline."""
+
+    workload: str
+    baseline: Measurement
+    configs: dict[str, Measurement] = field(default_factory=dict)
+
+    def speedup(self, config: str) -> float:
+        return speedup_percent(self.baseline.cycles, self.configs[config].cycles)
+
+    def compile_time_increase(self, config: str) -> float:
+        if self.baseline.compile_time == 0:
+            return 0.0
+        return (self.configs[config].compile_time / self.baseline.compile_time - 1.0) * 100.0
+
+    def code_size_increase(self, config: str) -> float:
+        if self.baseline.code_size == 0:
+            return 0.0
+        return (self.configs[config].code_size / self.baseline.code_size - 1.0) * 100.0
+
+
+@dataclass
+class SuiteReport:
+    """All rows of one suite plus the geomean summary."""
+
+    suite: str
+    rows: list[BenchmarkRow] = field(default_factory=list)
+    config_names: list[str] = field(default_factory=list)
+
+    def geomean_speedup(self, config: str) -> float:
+        ratios = [
+            self.baseline_ratio(row, config) for row in self.rows
+        ]
+        return (geometric_mean(ratios) - 1.0) * 100.0
+
+    @staticmethod
+    def baseline_ratio(row: BenchmarkRow, config: str) -> float:
+        return max(row.baseline.cycles / max(row.configs[config].cycles, 1e-9), 1e-9)
+
+    def geomean_compile_time(self, config: str) -> float:
+        ratios = [
+            max(row.configs[config].compile_time, 1e-9)
+            / max(row.baseline.compile_time, 1e-9)
+            for row in self.rows
+        ]
+        return (geometric_mean(ratios) - 1.0) * 100.0
+
+    def geomean_code_size(self, config: str) -> float:
+        ratios = [
+            max(row.configs[config].code_size, 1e-9)
+            / max(row.baseline.code_size, 1e-9)
+            for row in self.rows
+        ]
+        return (geometric_mean(ratios) - 1.0) * 100.0
+
+
+def measure_workload(workload: Workload, config: CompilerConfig) -> Measurement:
+    """Compile under ``config`` and run the measured workload."""
+    program, report = compile_and_profile(
+        workload.source, workload.entry, workload.profile_args, config
+    )
+    cycles, results = measure_performance(
+        program, workload.entry, workload.measure_args
+    )
+    for result in results:
+        if result.trapped:
+            raise RuntimeError(
+                f"{workload.suite}/{workload.name} trapped under "
+                f"{config.name}: {result.trap}"
+            )
+    return Measurement(
+        workload=workload.name,
+        config=config.name,
+        cycles=cycles,
+        compile_time=report.total_compile_time,
+        code_size=report.total_code_size,
+        duplications=report.total_duplications,
+    )
+
+
+def run_suite(
+    profile: SuiteProfile,
+    configs: Optional[Iterable[CompilerConfig]] = None,
+    seed: int = 0,
+    workloads: Optional[list[Workload]] = None,
+) -> SuiteReport:
+    """Measure a whole suite under baseline + the given configurations."""
+    configs = list(configs) if configs is not None else [DBDS, DUPALOT]
+    workloads = workloads if workloads is not None else generate_suite(profile, seed)
+    report = SuiteReport(suite=profile.suite, config_names=[c.name for c in configs])
+    for workload in workloads:
+        baseline = measure_workload(workload, BASELINE)
+        row = BenchmarkRow(workload=workload.name, baseline=baseline)
+        for config in configs:
+            row.configs[config.name] = measure_workload(workload, config)
+        report.rows.append(row)
+    return report
+
+
+def format_suite_report(report: SuiteReport) -> str:
+    """The Figure 5–8 presentation: per-benchmark rows, geomean table."""
+    lines = [f"=== {report.suite} ==="]
+    header = f"{'benchmark':<14s}" + "".join(
+        f"{name + ' perf':>16s}{name + ' ctime':>16s}{name + ' size':>16s}"
+        for name in report.config_names
+    )
+    lines.append(header)
+    for row in report.rows:
+        cells = ""
+        for name in report.config_names:
+            cells += (
+                f"{format_percent(row.speedup(name)):>16s}"
+                f"{format_percent(row.compile_time_increase(name)):>16s}"
+                f"{format_percent(row.code_size_increase(name)):>16s}"
+            )
+        lines.append(f"{row.workload:<14s}{cells}")
+    lines.append("-" * len(header))
+    lines.append("Geometric mean (peak performance / compile time / code size):")
+    for name in report.config_names:
+        lines.append(
+            f"  {name:<12s} {format_percent(report.geomean_speedup(name)):>9s} "
+            f"{format_percent(report.geomean_compile_time(name)):>9s} "
+            f"{format_percent(report.geomean_code_size(name)):>9s}"
+        )
+    return "\n".join(lines)

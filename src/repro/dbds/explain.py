@@ -1,0 +1,114 @@
+"""Human-readable duplication-decision reports.
+
+``explain_graph`` re-runs the simulation and trade-off tiers in
+read-only mode and narrates every predecessor-merge pair: the estimated
+benefit and its sources, the cost, the probability, and how each term
+of the Section 5.4 ``shouldDuplicate`` predicate evaluated.  Exposed as
+``python -m repro explain prog.mini``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..costmodel.estimator import graph_code_size
+from ..ir.graph import Graph, Program
+from .simulation import SimulationResult, SimulationTier
+from .tradeoff import TradeOffConfig, sort_candidates
+
+
+@dataclass
+class CandidateExplanation:
+    """One candidate's full trade-off story."""
+
+    candidate: SimulationResult
+    weighted: float
+    threshold_term: bool
+    unit_size_term: bool
+    budget_term: bool
+
+    @property
+    def accepted(self) -> bool:
+        return self.threshold_term and self.unit_size_term and self.budget_term
+
+    def verdict(self) -> str:
+        if self.accepted:
+            return "DUPLICATE"
+        reasons = []
+        if not self.threshold_term:
+            reasons.append("benefit below cost threshold")
+        if not self.unit_size_term:
+            reasons.append("compilation unit at max size")
+        if not self.budget_term:
+            reasons.append("code-size budget exhausted")
+        return "skip (" + ", ".join(reasons) + ")"
+
+
+def explain_candidates(
+    graph: Graph,
+    program: Optional[Program] = None,
+    config: Optional[TradeOffConfig] = None,
+) -> list[CandidateExplanation]:
+    """Simulate and evaluate every pair without changing the graph.
+
+    The budget term is evaluated against the *current* size for each
+    candidate independently (the real optimization tier consumes budget
+    as it goes, so later candidates there can see a tighter budget).
+    """
+    config = config or TradeOffConfig()
+    tier = SimulationTier(graph, program)
+    candidates = sort_candidates(tier.run(), config)
+    size = graph_code_size(graph)
+    explanations = []
+    for candidate in candidates:
+        weighted = candidate.benefit * (
+            candidate.probability if config.use_probability else 1.0
+        )
+        explanations.append(
+            CandidateExplanation(
+                candidate=candidate,
+                weighted=weighted,
+                threshold_term=weighted * config.benefit_scale > candidate.cost,
+                unit_size_term=size < config.max_unit_size,
+                # Pre-duplication, current size == initial size, so the
+                # paper's `cs + c < is * IB` reduces to this.
+                budget_term=size + candidate.cost < size * config.increase_budget,
+            )
+        )
+    return explanations
+
+
+def format_explanations(
+    graph: Graph, explanations: list[CandidateExplanation]
+) -> str:
+    """Render the report the way a compiler log would."""
+    lines = [
+        f"DBDS candidate report for {graph.name!r} "
+        f"(unit size {graph_code_size(graph):.0f})",
+    ]
+    if not explanations:
+        lines.append("  no predecessor-merge pairs to consider")
+        return "\n".join(lines)
+    for rank, explanation in enumerate(explanations, start=1):
+        c = explanation.candidate
+        fired = ", ".join(sorted(set(c.reasons))) or "nothing fires"
+        lines.append(
+            f"  #{rank} {c.merge.name} -> {c.pred.name}: "
+            f"benefit {c.benefit:.1f} cyc x p {c.probability:.2f} "
+            f"= {explanation.weighted:.2f}, cost {c.cost:.1f}"
+        )
+        lines.append(f"      enables: {fired}")
+        lines.append(f"      decision: {explanation.verdict()}")
+    return "\n".join(lines)
+
+
+def explain_graph(
+    graph: Graph,
+    program: Optional[Program] = None,
+    config: Optional[TradeOffConfig] = None,
+) -> str:
+    """One-call convenience: simulate, evaluate, render."""
+    return format_explanations(
+        graph, explain_candidates(graph, program, config)
+    )

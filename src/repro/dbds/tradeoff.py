@@ -1,0 +1,75 @@
+"""The DBDS trade-off tier (Section 5.4).
+
+Implements the paper's ``shouldDuplicate`` heuristic verbatim:
+
+    (b × p × BS) > c  ∧  (cs < MS)  ∧  (cs + c < is × IB)
+
+with the published constants — BenefitScale BS = 256 (derived
+empirically by the authors), code-size IncreaseBudget IB = 1.5 (150 %),
+and a maximum compilation-unit size MS standing in for HotSpot's
+``JVMCINMethodSizeLimit``.  Candidates are ranked by probability-scaled
+benefit so the most promising pairs consume the budget first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .simulation import SimulationResult
+
+#: BS — how much more cost than benefit we tolerate (paper: 256).
+BENEFIT_SCALE = 256.0
+#: IB — max code size growth per compilation unit (paper: 1.5 = 150%).
+INCREASE_BUDGET = 1.5
+#: MS — absolute compilation-unit size cap (HotSpot install limit
+#: stand-in, in cost-model size units).
+MAX_UNIT_SIZE = 20_000.0
+
+
+@dataclass
+class TradeOffConfig:
+    """Tunable constants of the heuristic (ablation benches sweep them)."""
+
+    benefit_scale: float = BENEFIT_SCALE
+    increase_budget: float = INCREASE_BUDGET
+    max_unit_size: float = MAX_UNIT_SIZE
+    #: when False, probabilities are ignored (ablation A1)
+    use_probability: bool = True
+
+
+def should_duplicate(
+    candidate: SimulationResult,
+    current_size: float,
+    initial_size: float,
+    config: TradeOffConfig | None = None,
+) -> bool:
+    """The paper's shouldDuplicate(bpi, bm, benefit, cost) predicate."""
+    cfg = config or TradeOffConfig()
+    b = candidate.benefit
+    p = candidate.probability if cfg.use_probability else 1.0
+    c = candidate.cost
+    if not (b * p * cfg.benefit_scale > c):
+        return False
+    if not (current_size < cfg.max_unit_size):
+        return False
+    if not (current_size + c < initial_size * cfg.increase_budget):
+        return False
+    return True
+
+
+def sort_candidates(
+    candidates: list[SimulationResult], config: TradeOffConfig | None = None
+) -> list[SimulationResult]:
+    """Rank by probability-weighted benefit (desc), then by cost (asc).
+
+    "We sort duplication candidates based on these values and optimize
+    the most likely and most beneficial ones first" — important when the
+    code-size budget runs out before all candidates are performed.
+    """
+    cfg = config or TradeOffConfig()
+
+    def key(c: SimulationResult) -> tuple[float, float]:
+        weighted = c.benefit * (c.probability if cfg.use_probability else 1.0)
+        return (-weighted, c.cost)
+
+    return sorted(candidates, key=key)

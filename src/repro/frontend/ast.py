@@ -1,0 +1,177 @@
+"""Abstract syntax tree for MiniLang.
+
+Plain dataclasses; every node records its source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ir.types import Type
+
+
+@dataclass
+class Node:
+    line: int
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool
+
+
+@dataclass
+class NullLiteral(Expr):
+    pass
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # "-" or "!"
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str  # arithmetic / comparison / logical operator text
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class FieldAccess(Expr):
+    obj: Expr
+    field: str
+
+
+@dataclass
+class Index(Expr):
+    array: Expr
+    index: Expr
+
+
+@dataclass
+class CallExpr(Expr):
+    callee: str
+    args: list[Expr]
+
+
+@dataclass
+class NewObject(Expr):
+    class_name: str
+    #: (field-name, initializer) pairs, e.g. ``new A { x = 0 }``.
+    initializers: list[tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class NewArrayExpr(Expr):
+    element_type: Type
+    length: Expr
+
+
+@dataclass
+class LenExpr(Expr):
+    array: Expr
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    declared_type: Type
+    init: Optional[Expr]
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr  # VarRef, FieldAccess or Index
+    value: Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    condition: Expr
+    then_body: list[Stmt]
+    else_body: list[Stmt]
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: Expr
+    body: list[Stmt]
+
+
+@dataclass
+class ForStmt(Stmt):
+    """``for (init; cond; step) body`` — sugar for init + while."""
+
+    init: Stmt  # VarDecl or Assign
+    condition: Expr
+    step: "Assign"
+    body: list[Stmt]
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+@dataclass
+class ClassDef(Node):
+    name: str
+    fields: list[tuple[str, Type]]
+
+
+@dataclass
+class GlobalDef(Node):
+    name: str
+    declared_type: Type
+
+
+@dataclass
+class FunctionDef(Node):
+    name: str
+    params: list[tuple[str, Type]]
+    return_type: Type
+    body: list[Stmt]
+
+
+@dataclass
+class Module(Node):
+    classes: list[ClassDef]
+    globals: list[GlobalDef]
+    functions: list[FunctionDef]

@@ -1,0 +1,394 @@
+"""Recursive-descent parser for MiniLang.
+
+Grammar (see README for the full reference):
+
+    module     := (class | global | function)*
+    class      := "class" IDENT "{" (IDENT ":" type ";")* "}"
+    global     := "global" IDENT ":" type ";"
+    function   := "fn" IDENT "(" params? ")" ("->" type)? block
+    type       := ("int" | "bool" | IDENT) ("[" "]")*
+    statement  := var | if | while | return | assign-or-expr
+    expression := precedence-climbing over || && | ^ & == != < <= > >=
+                  << >> >>> + - * / % with unary - and !
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.types import BOOL, INT, VOID, ArrayType, ObjectType, Type
+from . import ast
+from .lexer import CompileError, Token, TokenKind, tokenize
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token utilities
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def expect_punct(self, text: str) -> Token:
+        if not self.current.is_punct(text):
+            raise CompileError(
+                f"expected {text!r}, found {self.current.text!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def expect_keyword(self, text: str) -> Token:
+        if not self.current.is_keyword(text):
+            raise CompileError(
+                f"expected keyword {text!r}, found {self.current.text!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise CompileError(
+                f"expected identifier, found {self.current.text!r}",
+                self.current.line,
+                self.current.column,
+            )
+        return self.advance()
+
+    def accept_punct(self, text: str) -> bool:
+        if self.current.is_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, text: str) -> bool:
+        if self.current.is_keyword(text):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def parse_module(self) -> ast.Module:
+        classes: list[ast.ClassDef] = []
+        globals_: list[ast.GlobalDef] = []
+        functions: list[ast.FunctionDef] = []
+        while self.current.kind is not TokenKind.EOF:
+            if self.current.is_keyword("class"):
+                classes.append(self.parse_class())
+            elif self.current.is_keyword("global"):
+                globals_.append(self.parse_global())
+            elif self.current.is_keyword("fn"):
+                functions.append(self.parse_function())
+            else:
+                raise CompileError(
+                    f"expected declaration, found {self.current.text!r}",
+                    self.current.line,
+                    self.current.column,
+                )
+        return ast.Module(1, classes, globals_, functions)
+
+    def parse_class(self) -> ast.ClassDef:
+        start = self.expect_keyword("class")
+        name = self.expect_ident().text
+        self.expect_punct("{")
+        fields: list[tuple[str, Type]] = []
+        while not self.accept_punct("}"):
+            fname = self.expect_ident().text
+            self.expect_punct(":")
+            fields.append((fname, self.parse_type()))
+            self.expect_punct(";")
+        return ast.ClassDef(start.line, name, fields)
+
+    def parse_global(self) -> ast.GlobalDef:
+        start = self.expect_keyword("global")
+        name = self.expect_ident().text
+        self.expect_punct(":")
+        ty = self.parse_type()
+        self.expect_punct(";")
+        return ast.GlobalDef(start.line, name, ty)
+
+    def parse_function(self) -> ast.FunctionDef:
+        start = self.expect_keyword("fn")
+        name = self.expect_ident().text
+        self.expect_punct("(")
+        params: list[tuple[str, Type]] = []
+        if not self.current.is_punct(")"):
+            while True:
+                pname = self.expect_ident().text
+                self.expect_punct(":")
+                params.append((pname, self.parse_type()))
+                if not self.accept_punct(","):
+                    break
+        self.expect_punct(")")
+        return_type: Type = VOID
+        if self.accept_punct("->"):
+            return_type = self.parse_type()
+        body = self.parse_block()
+        return ast.FunctionDef(start.line, name, params, return_type, body)
+
+    def parse_type(self) -> Type:
+        token = self.current
+        if token.is_keyword("int"):
+            self.advance()
+            base: Type = INT
+        elif token.is_keyword("bool"):
+            self.advance()
+            base = BOOL
+        elif token.is_keyword("void"):
+            self.advance()
+            base = VOID
+        elif token.kind is TokenKind.IDENT:
+            self.advance()
+            base = ObjectType(token.text)
+        else:
+            raise CompileError(
+                f"expected type, found {token.text!r}", token.line, token.column
+            )
+        while self.current.is_punct("[") and self.tokens[self.pos + 1].is_punct("]"):
+            self.advance()
+            self.advance()
+            base = ArrayType(base)
+        return base
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect_punct("{")
+        statements: list[ast.Stmt] = []
+        while not self.accept_punct("}"):
+            statements.append(self.parse_statement())
+        return statements
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.is_keyword("var"):
+            return self.parse_var_decl()
+        if token.is_keyword("if"):
+            return self.parse_if()
+        if token.is_keyword("while"):
+            return self.parse_while()
+        if token.is_keyword("for"):
+            return self.parse_for()
+        if token.is_keyword("return"):
+            self.advance()
+            value: Optional[ast.Expr] = None
+            if not self.current.is_punct(";"):
+                value = self.parse_expression()
+            self.expect_punct(";")
+            return ast.ReturnStmt(token.line, value)
+        # assignment or expression statement
+        expr = self.parse_expression()
+        if self.accept_punct("="):
+            value = self.parse_expression()
+            self.expect_punct(";")
+            if not isinstance(expr, (ast.VarRef, ast.FieldAccess, ast.Index)):
+                raise CompileError("invalid assignment target", token.line, token.column)
+            return ast.Assign(token.line, expr, value)
+        self.expect_punct(";")
+        return ast.ExprStmt(token.line, expr)
+
+    def parse_var_decl(self) -> ast.VarDecl:
+        start = self.expect_keyword("var")
+        name = self.expect_ident().text
+        self.expect_punct(":")
+        ty = self.parse_type()
+        init: Optional[ast.Expr] = None
+        if self.accept_punct("="):
+            init = self.parse_expression()
+        self.expect_punct(";")
+        return ast.VarDecl(start.line, name, ty, init)
+
+    def parse_if(self) -> ast.IfStmt:
+        start = self.expect_keyword("if")
+        self.expect_punct("(")
+        condition = self.parse_expression()
+        self.expect_punct(")")
+        then_body = self.parse_block()
+        else_body: list[ast.Stmt] = []
+        if self.accept_keyword("else"):
+            if self.current.is_keyword("if"):
+                else_body = [self.parse_if()]
+            else:
+                else_body = self.parse_block()
+        return ast.IfStmt(start.line, condition, then_body, else_body)
+
+    def parse_while(self) -> ast.WhileStmt:
+        start = self.expect_keyword("while")
+        self.expect_punct("(")
+        condition = self.parse_expression()
+        self.expect_punct(")")
+        body = self.parse_block()
+        return ast.WhileStmt(start.line, condition, body)
+
+    def parse_for(self) -> ast.ForStmt:
+        """``for (init; cond; step) { body }`` — init is a var
+        declaration or an assignment, step is an assignment."""
+        start = self.expect_keyword("for")
+        self.expect_punct("(")
+        if self.current.is_keyword("var"):
+            init: ast.Stmt = self.parse_var_decl()  # consumes the ';'
+        else:
+            init = self._parse_assignment_clause()
+            self.expect_punct(";")
+        condition = self.parse_expression()
+        self.expect_punct(";")
+        step = self._parse_assignment_clause()
+        self.expect_punct(")")
+        body = self.parse_block()
+        return ast.ForStmt(start.line, init, condition, step, body)
+
+    def _parse_assignment_clause(self) -> ast.Assign:
+        token = self.current
+        target = self.parse_expression()
+        self.expect_punct("=")
+        value = self.parse_expression()
+        if not isinstance(target, (ast.VarRef, ast.FieldAccess, ast.Index)):
+            raise CompileError("invalid assignment target", token.line, token.column)
+        return ast.Assign(token.line, target, value)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    _LEVELS: list[tuple[str, ...]] = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>", ">>>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expression(self) -> ast.Expr:
+        return self._parse_level(0)
+
+    def _parse_level(self, level: int) -> ast.Expr:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        ops = self._LEVELS[level]
+        left = self._parse_level(level + 1)
+        while self.current.kind is TokenKind.PUNCT and self.current.text in ops:
+            op = self.advance()
+            right = self._parse_level(level + 1)
+            left = ast.Binary(op.line, op.text, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.is_punct("-") or token.is_punct("!"):
+            self.advance()
+            return ast.Unary(token.line, token.text, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept_punct("."):
+                field = self.expect_ident().text
+                expr = ast.FieldAccess(self.current.line, expr, field)
+            elif self.current.is_punct("[") and not isinstance(expr, ast.NewArrayExpr):
+                self.advance()
+                index = self.parse_expression()
+                self.expect_punct("]")
+                expr = ast.Index(self.current.line, expr, index)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLiteral(token.line, int(token.text))
+        if token.is_keyword("true"):
+            self.advance()
+            return ast.BoolLiteral(token.line, True)
+        if token.is_keyword("false"):
+            self.advance()
+            return ast.BoolLiteral(token.line, False)
+        if token.is_keyword("null"):
+            self.advance()
+            return ast.NullLiteral(token.line)
+        if token.is_keyword("len"):
+            self.advance()
+            self.expect_punct("(")
+            array = self.parse_expression()
+            self.expect_punct(")")
+            return ast.LenExpr(token.line, array)
+        if token.is_keyword("new"):
+            return self.parse_new()
+        if token.is_punct("("):
+            self.advance()
+            expr = self.parse_expression()
+            self.expect_punct(")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            if self.current.is_punct("("):
+                self.advance()
+                args: list[ast.Expr] = []
+                if not self.current.is_punct(")"):
+                    while True:
+                        args.append(self.parse_expression())
+                        if not self.accept_punct(","):
+                            break
+                self.expect_punct(")")
+                return ast.CallExpr(token.line, token.text, args)
+            return ast.VarRef(token.line, token.text)
+        raise CompileError(
+            f"expected expression, found {token.text!r}", token.line, token.column
+        )
+
+    def parse_new(self) -> ast.Expr:
+        start = self.expect_keyword("new")
+        # `new int[expr]` / `new bool[expr]` / `new Ident[expr]` are array
+        # allocations; `new Ident { ... }` / `new Ident` allocate objects.
+        if self.current.is_keyword("int") or self.current.is_keyword("bool"):
+            element = self.parse_type_base()
+            return self._parse_array_suffix(start, element)
+        name = self.expect_ident().text
+        if self.current.is_punct("["):
+            return self._parse_array_suffix(start, ObjectType(name))
+        initializers: list[tuple[str, ast.Expr]] = []
+        if self.accept_punct("{"):
+            while not self.accept_punct("}"):
+                fname = self.expect_ident().text
+                self.expect_punct("=")
+                initializers.append((fname, self.parse_expression()))
+                if not self.current.is_punct("}"):
+                    self.expect_punct(",")
+        return ast.NewObject(start.line, name, initializers)
+
+    def parse_type_base(self) -> Type:
+        if self.accept_keyword("int"):
+            return INT
+        if self.accept_keyword("bool"):
+            return BOOL
+        return ObjectType(self.expect_ident().text)
+
+    def _parse_array_suffix(self, start: Token, element: Type) -> ast.Expr:
+        self.expect_punct("[")
+        length = self.parse_expression()
+        self.expect_punct("]")
+        return ast.NewArrayExpr(start.line, element, length)
+
+
+def parse_module(source: str) -> ast.Module:
+    """Parse MiniLang source into an AST module."""
+    return Parser(source).parse_module()

@@ -1,0 +1,345 @@
+"""Reference interpreter for IR programs.
+
+Three roles:
+
+* **Semantics oracle** — optimized and unoptimized programs must produce
+  identical observable results (return value, reachable heap, globals,
+  traps); the test suite runs both and compares.
+* **Profiler** — a profiling run records branch-taken counts and loop
+  trip counts, which the compiler consumes exactly like Graal consumes
+  HotSpot profiles (Section 5.3).
+* **Performance simulator** — executions can be charged node-cost-model
+  cycles per executed instruction, giving the "peak performance" metric
+  of the evaluation (see DESIGN.md for why this substitution is sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..ir.block import Block
+from ..ir.graph import Graph, Program
+from ..ir.nodes import (
+    ArithOp,
+    ArrayLength,
+    ArrayLoad,
+    ArrayStore,
+    Call,
+    Compare,
+    Constant,
+    Goto,
+    If,
+    Instruction,
+    LoadField,
+    LoadGlobal,
+    Neg,
+    New,
+    NewArray,
+    Not,
+    Parameter,
+    Phi,
+    Return,
+    StoreField,
+    StoreGlobal,
+    Value,
+)
+from ..ir.ops import EvaluationTrap, eval_binop, eval_cmp
+
+
+class BudgetExceeded(Exception):
+    """The interpreter hit its step budget (runaway loop guard)."""
+
+
+class HeapObject:
+    """A runtime object instance."""
+
+    __slots__ = ("class_name", "fields")
+
+    def __init__(self, class_name: str, fields: dict[str, Any]) -> None:
+        self.class_name = class_name
+        self.fields = fields
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name}@{id(self):#x}>"
+
+
+class HeapArray:
+    """A runtime array instance."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: list[Any]) -> None:
+        self.values = values
+
+    def __repr__(self) -> str:
+        return f"<array[{len(self.values)}]>"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one interpreted call."""
+
+    value: Any = None
+    trap: Optional[str] = None
+    steps: int = 0
+    cycles: float = 0.0
+
+    @property
+    def trapped(self) -> bool:
+        return self.trap is not None
+
+
+@dataclass
+class InterpreterState:
+    """Mutable cross-call state: globals, step counter, cycle meter."""
+
+    globals: dict[str, Any] = field(default_factory=dict)
+    steps: int = 0
+    cycles: float = 0.0
+
+
+class Interpreter:
+    """Executes IR programs; see module docstring for the three roles."""
+
+    def __init__(
+        self,
+        program: Program,
+        max_steps: int = 50_000_000,
+        cycle_cost: Optional[Callable[[Instruction], float]] = None,
+        terminator_cost: Optional[Callable[[Any], float]] = None,
+        profile: Optional["ProfileCollector"] = None,
+        max_call_depth: int = 200,
+    ) -> None:
+        self.program = program
+        self.max_steps = max_steps
+        self.cycle_cost = cycle_cost
+        self.terminator_cost = terminator_cost
+        self.profile = profile
+        self.max_call_depth = max_call_depth
+        self._call_depth = 0
+        self.state = InterpreterState()
+        self._init_globals()
+
+    def _init_globals(self) -> None:
+        self.state.globals = {
+            name: ty.default_value() for name, ty in self.program.globals.items()
+        }
+
+    def reset(self) -> None:
+        """Fresh globals and meters (run-to-run isolation)."""
+        self.state = InterpreterState()
+        self._init_globals()
+
+    # ------------------------------------------------------------------
+    def run(self, function: str, args: list[Any]) -> ExecutionResult:
+        """Call ``function`` with ``args`` and capture the outcome."""
+        graph = self.program.function(function)
+        try:
+            value = self._call(graph, args)
+            return ExecutionResult(
+                value=value, steps=self.state.steps, cycles=self.state.cycles
+            )
+        except EvaluationTrap as trap:
+            return ExecutionResult(
+                trap=str(trap), steps=self.state.steps, cycles=self.state.cycles
+            )
+
+    def _call(self, graph: Graph, args: list[Any]) -> Any:
+        if len(args) != len(graph.parameters):
+            raise TypeError(
+                f"{graph.name} expects {len(graph.parameters)} args, got {len(args)}"
+            )
+        self._call_depth += 1
+        try:
+            return self._run_frame(graph, args)
+        finally:
+            self._call_depth -= 1
+
+    def _run_frame(self, graph: Graph, args: list[Any]) -> Any:
+        if self._call_depth > self.max_call_depth:
+            raise EvaluationTrap("stack overflow")
+        env: dict[Value, Any] = {}
+        for param, arg in zip(graph.parameters, args):
+            env[param] = arg
+
+        block = graph.entry
+        pred: Optional[Block] = None
+        while True:
+            self._charge_block_entry(block, pred, env)
+            for instruction in block.instructions:
+                self._step()
+                env[instruction] = self._execute(instruction, env)
+                if self.cycle_cost is not None:
+                    self.state.cycles += self.cycle_cost(instruction)
+            terminator = block.terminator
+            self._step()
+            if self.terminator_cost is not None:
+                self.state.cycles += self.terminator_cost(terminator)
+            if isinstance(terminator, Return):
+                if terminator.value is None:
+                    return None
+                return self._value_of(terminator.value, env)
+            if isinstance(terminator, Goto):
+                pred, block = block, terminator.target
+                continue
+            if isinstance(terminator, If):
+                taken = bool(self._value_of(terminator.condition, env))
+                if self.profile is not None:
+                    self.profile.record_branch(terminator, taken)
+                pred, block = (
+                    block,
+                    terminator.true_target if taken else terminator.false_target,
+                )
+                continue
+            raise AssertionError(f"unknown terminator {terminator!r}")
+
+    def _charge_block_entry(
+        self, block: Block, pred: Optional[Block], env: dict[Value, Any]
+    ) -> None:
+        if self.profile is not None:
+            self.profile.record_block(block)
+        if not block.phis:
+            return
+        assert pred is not None, "phis in entry block"
+        index = block.predecessor_index(pred)
+        # Parallel phi semantics: read all inputs before writing any.
+        values = [self._value_of(phi.input(index), env) for phi in block.phis]
+        for phi, value in zip(block.phis, values):
+            env[phi] = value
+            if self.cycle_cost is not None:
+                self.state.cycles += self.cycle_cost(phi)
+
+    def _step(self) -> None:
+        self.state.steps += 1
+        if self.state.steps > self.max_steps:
+            raise BudgetExceeded(f"exceeded {self.max_steps} interpreter steps")
+
+    def _value_of(self, value: Value, env: dict[Value, Any]) -> Any:
+        if isinstance(value, Constant):
+            return value.value
+        return env[value]
+
+    # ------------------------------------------------------------------
+    def _execute(self, ins: Instruction, env: dict[Value, Any]) -> Any:
+        get = lambda v: self._value_of(v, env)  # noqa: E731 - hot path
+        if isinstance(ins, ArithOp):
+            return eval_binop(ins.op, get(ins.x), get(ins.y))
+        if isinstance(ins, Compare):
+            return eval_cmp(ins.op, get(ins.x), get(ins.y))
+        if isinstance(ins, Not):
+            return not get(ins.x)
+        if isinstance(ins, Neg):
+            from ..ir.ops import wrap64
+
+            return wrap64(-get(ins.x))
+        if isinstance(ins, New):
+            decl = self.program.class_table.lookup(ins.object_type.class_name)
+            return HeapObject(
+                decl.name, {f.name: f.type.default_value() for f in decl.fields}
+            )
+        if isinstance(ins, LoadField):
+            obj = get(ins.obj)
+            if obj is None:
+                raise EvaluationTrap(f"null dereference reading .{ins.field}")
+            return obj.fields[ins.field]
+        if isinstance(ins, StoreField):
+            obj = get(ins.obj)
+            if obj is None:
+                raise EvaluationTrap(f"null dereference writing .{ins.field}")
+            obj.fields[ins.field] = get(ins.value)
+            return None
+        if isinstance(ins, LoadGlobal):
+            return self.state.globals[ins.global_name]
+        if isinstance(ins, StoreGlobal):
+            self.state.globals[ins.global_name] = get(ins.value)
+            return None
+        if isinstance(ins, NewArray):
+            length = get(ins.length)
+            if length < 0:
+                raise EvaluationTrap(f"negative array length {length}")
+            return HeapArray([ins.element_type.default_value()] * length)
+        if isinstance(ins, ArrayLoad):
+            array, index = get(ins.array), get(ins.index)
+            self._check_array(array, index)
+            return array.values[index]
+        if isinstance(ins, ArrayStore):
+            array, index = get(ins.array), get(ins.index)
+            self._check_array(array, index)
+            array.values[index] = get(ins.value)
+            return None
+        if isinstance(ins, ArrayLength):
+            array = get(ins.array)
+            if array is None:
+                raise EvaluationTrap("null dereference in len()")
+            return len(array.values)
+        if isinstance(ins, Call):
+            callee = self.program.function(ins.callee)
+            return self._call(callee, [get(a) for a in ins.args])
+        if isinstance(ins, Phi):  # pragma: no cover - phis handled on entry
+            raise AssertionError("phi reached instruction loop")
+        raise AssertionError(f"cannot execute {type(ins).__name__}")
+
+    @staticmethod
+    def _check_array(array: Any, index: Any) -> None:
+        if array is None:
+            raise EvaluationTrap("null array access")
+        if not 0 <= index < len(array.values):
+            raise EvaluationTrap(f"array index {index} out of bounds")
+
+
+class ProfileCollector:
+    """Branch and block counters recorded during a profiling run."""
+
+    def __init__(self) -> None:
+        self.branch_counts: dict[If, list[int]] = {}
+        self.block_counts: dict[Block, int] = {}
+
+    def record_branch(self, branch: If, taken: bool) -> None:
+        counts = self.branch_counts.setdefault(branch, [0, 0])
+        counts[0 if taken else 1] += 1
+
+    def record_block(self, block: Block) -> None:
+        self.block_counts[block] = self.block_counts.get(block, 0) + 1
+
+    def true_probability(self, branch: If) -> Optional[float]:
+        counts = self.branch_counts.get(branch)
+        if not counts or (counts[0] + counts[1]) == 0:
+            return None
+        return counts[0] / (counts[0] + counts[1])
+
+
+def deep_value(value: Any, _seen: Optional[dict[int, int]] = None) -> Any:
+    """Structural snapshot of a runtime value for differential testing.
+
+    Objects/arrays become nested tuples; cycles are encoded as back
+    references so isomorphic heaps compare equal.
+    """
+    if _seen is None:
+        _seen = {}
+    if isinstance(value, HeapObject):
+        if id(value) in _seen:
+            return ("backref", _seen[id(value)])
+        _seen[id(value)] = len(_seen)
+        return (
+            "object",
+            value.class_name,
+            tuple(
+                (name, deep_value(v, _seen)) for name, v in sorted(value.fields.items())
+            ),
+        )
+    if isinstance(value, HeapArray):
+        if id(value) in _seen:
+            return ("backref", _seen[id(value)])
+        _seen[id(value)] = len(_seen)
+        return ("array", tuple(deep_value(v, _seen) for v in value.values))
+    return value
+
+
+def observable_outcome(result: ExecutionResult, state: InterpreterState) -> tuple:
+    """Everything a program run can observe: result/trap + global state."""
+    return (
+        deep_value(result.value),
+        result.trap,
+        tuple((name, deep_value(v)) for name, v in sorted(state.globals.items())),
+    )

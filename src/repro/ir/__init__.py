@@ -1,0 +1,69 @@
+"""Block-structured SSA intermediate representation.
+
+The substrate the DBDS reproduction is built on: values, instructions,
+basic blocks, function graphs, dominator/loop/frequency analyses, SSA
+repair, verification and cloning.  See DESIGN.md for the mapping onto
+the paper's Graal IR.
+"""
+
+from .block import Block
+from .dominators import DominatorTree
+from .frequency import BlockFrequencies
+from .graph import Graph, Program
+from .loops import Loop, LoopForest
+from .nodes import (
+    ArithOp,
+    ArrayLength,
+    ArrayLoad,
+    ArrayStore,
+    Call,
+    Compare,
+    Constant,
+    Goto,
+    If,
+    Instruction,
+    LoadField,
+    LoadGlobal,
+    Neg,
+    New,
+    NewArray,
+    Not,
+    Parameter,
+    Phi,
+    Return,
+    StoreField,
+    StoreGlobal,
+    Terminator,
+    User,
+    Value,
+)
+from .ops import BinOp, CmpOp, EvaluationTrap, eval_binop, eval_cmp, wrap64
+from .types import (
+    BOOL,
+    INT,
+    NULL,
+    VOID,
+    ArrayType,
+    ClassDecl,
+    ClassTable,
+    FieldDecl,
+    IntType,
+    NullType,
+    ObjectType,
+    Type,
+    VoidType,
+)
+from .verifier import VerificationError, verify_graph, verify_program
+
+__all__ = [
+    "ArithOp", "ArrayLength", "ArrayLoad", "ArrayStore", "ArrayType",
+    "BinOp", "Block", "BlockFrequencies", "BOOL", "Call", "ClassDecl",
+    "ClassTable", "CmpOp", "Compare", "Constant", "DominatorTree",
+    "EvaluationTrap", "eval_binop", "eval_cmp", "FieldDecl", "Goto",
+    "Graph", "If", "Instruction", "INT", "IntType", "LoadField",
+    "LoadGlobal", "Loop", "LoopForest", "Neg", "New", "NewArray", "Not",
+    "NULL", "NullType", "ObjectType", "Parameter", "Phi", "Program",
+    "Return", "StoreField", "StoreGlobal", "Terminator", "Type", "User",
+    "Value", "VerificationError", "verify_graph", "verify_program",
+    "VOID", "VoidType", "wrap64",
+]

@@ -1,0 +1,152 @@
+"""Basic blocks with ordered predecessors and phi bookkeeping.
+
+Structural invariants (checked by :mod:`repro.ir.verifier`):
+
+* Ordered predecessor lists; phi inputs are positional per predecessor.
+* Every predecessor of a *merge* block (>= 2 predecessors) ends in a
+  :class:`~repro.ir.nodes.Goto` — critical edges are always split, which
+  makes tail duplication a well-defined "append to predecessor" step.
+* ``If`` terminators have two distinct targets (folded to Goto
+  otherwise), so an edge is uniquely identified by ``(pred, succ)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .nodes import Goto, Instruction, Phi, Terminator
+
+
+class Block:
+    """A basic block: phis, a straight-line instruction list, a terminator."""
+
+    def __init__(self, graph, name: Optional[str] = None) -> None:
+        self.graph = graph
+        self.id: int = graph._next_block_id()
+        self._name = name
+        self.phis: list[Phi] = []
+        self.instructions: list[Instruction] = []
+        self.terminator: Optional[Terminator] = None
+        self.predecessors: list["Block"] = []
+
+    # ------------------------------------------------------------------
+    # Naming / display
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name or f"b{self.id}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+    # ------------------------------------------------------------------
+    # Successor / predecessor structure
+    # ------------------------------------------------------------------
+    @property
+    def successors(self) -> tuple["Block", ...]:
+        return self.terminator.targets if self.terminator else ()
+
+    def is_merge(self) -> bool:
+        return len(self.predecessors) >= 2
+
+    def add_predecessor(self, pred: "Block") -> None:
+        """Register an incoming edge. Phi inputs for the new edge must be
+        appended by the caller via :meth:`Phi._append_input` helpers —
+        the verifier enforces consistency."""
+        self.predecessors.append(pred)
+
+    def remove_predecessor(self, pred: "Block") -> int:
+        """Unregister the (unique) edge from ``pred`` and drop the
+        corresponding phi input from every phi. Returns the removed
+        predecessor index."""
+        index = self.predecessor_index(pred)
+        del self.predecessors[index]
+        for phi in self.phis:
+            phi._remove_input_at(index)
+        return index
+
+    def predecessor_index(self, pred: "Block") -> int:
+        for i, p in enumerate(self.predecessors):
+            if p is pred:
+                return i
+        raise ValueError(f"{pred.name} is not a predecessor of {self.name}")
+
+    # ------------------------------------------------------------------
+    # Instruction management
+    # ------------------------------------------------------------------
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append a (non-phi) instruction to the end of the block."""
+        assert not isinstance(instruction, Phi)
+        instruction.block = self
+        self.instructions.append(instruction)
+        return instruction
+
+    def insert(self, index: int, instruction: Instruction) -> Instruction:
+        assert not isinstance(instruction, Phi)
+        instruction.block = self
+        self.instructions.insert(index, instruction)
+        return instruction
+
+    def add_phi(self, phi: Phi) -> Phi:
+        assert phi.block is self
+        self.phis.append(phi)
+        return phi
+
+    def remove_instruction(self, instruction: Instruction) -> None:
+        """Remove an instruction (or phi) and release its operand uses.
+
+        The instruction must be use-free (callers ``replace_all_uses``
+        first); this is asserted to catch dangling references early.
+        """
+        assert not instruction.has_uses(), (
+            f"removing {instruction!r} which still has uses"
+        )
+        if isinstance(instruction, Phi):
+            self.phis.remove(instruction)
+        else:
+            self.instructions.remove(instruction)
+        instruction.drop_inputs()
+        instruction.block = None
+
+    def set_terminator(self, terminator: Terminator) -> Terminator:
+        """Install ``terminator``, maintaining successor predecessor lists."""
+        if self.terminator is not None:
+            for t in self.terminator.targets:
+                t.remove_predecessor(self)
+            self.terminator.drop_inputs()
+            self.terminator.block = None
+        self.terminator = terminator
+        terminator.block = self
+        for t in terminator.targets:
+            t.add_predecessor(self)
+        return terminator
+
+    def clear_terminator(self) -> None:
+        """Detach the terminator (used while deleting the block)."""
+        if self.terminator is not None:
+            for t in self.terminator.targets:
+                t.remove_predecessor(self)
+            self.terminator.drop_inputs()
+            self.terminator.block = None
+            self.terminator = None
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def all_instructions(self) -> Iterator[Instruction]:
+        """Phis first, then scheduled instructions (no terminator)."""
+        yield from self.phis
+        yield from self.instructions
+
+    def ends_with_goto(self) -> bool:
+        return isinstance(self.terminator, Goto)
+
+    def describe(self) -> str:
+        lines = [f"{self.name}:  preds={[p.name for p in self.predecessors]}"]
+        for phi in self.phis:
+            lines.append(f"  {phi.describe()}")
+        for ins in self.instructions:
+            lines.append(f"  {ins.describe()}")
+        if self.terminator is not None:
+            lines.append(f"  {self.terminator.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Graphviz (dot) export of IR control-flow graphs.
+
+Handy for debugging duplication decisions::
+
+    from repro.ir.dot import graph_to_dot
+    pathlib.Path("f.dot").write_text(graph_to_dot(graph))
+    # dot -Tsvg f.dot -o f.svg
+"""
+
+from __future__ import annotations
+
+import html
+
+from .cfgutils import reverse_post_order
+from .graph import Graph
+from .nodes import Goto, If
+
+
+def _escape(text: str) -> str:
+    return html.escape(text, quote=True)
+
+
+def graph_to_dot(graph: Graph, include_instructions: bool = True) -> str:
+    """Render one function graph as a dot digraph string."""
+    lines = [
+        f'digraph "{graph.name}" {{',
+        '  node [shape=box, fontname="monospace", fontsize=10];',
+    ]
+    for block in reverse_post_order(graph):
+        if include_instructions:
+            rows = [block.name]
+            rows += [phi.describe() for phi in block.phis]
+            rows += [ins.describe() for ins in block.instructions]
+            if block.terminator is not None:
+                rows.append(block.terminator.describe())
+            label = "\\l".join(_escape(r) for r in rows) + "\\l"
+        else:
+            label = _escape(block.name)
+        lines.append(f'  b{block.id} [label="{label}"];')
+        term = block.terminator
+        if isinstance(term, If):
+            lines.append(
+                f'  b{block.id} -> b{term.true_target.id} '
+                f'[label="T {term.true_probability:.2f}"];'
+            )
+            lines.append(
+                f'  b{block.id} -> b{term.false_target.id} '
+                f'[label="F {1 - term.true_probability:.2f}"];'
+            )
+        elif isinstance(term, Goto):
+            lines.append(f"  b{block.id} -> b{term.target.id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def program_to_dot(program) -> str:
+    """All functions of a program as dot clusters."""
+    lines = ["digraph program {", '  node [shape=box, fontname="monospace"];']
+    for index, graph in enumerate(program.functions.values()):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{_escape(graph.name)}";')
+        body = graph_to_dot(graph, include_instructions=False).splitlines()[2:-1]
+        lines.extend("  " + line for line in body)
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Function graphs and whole programs.
+
+A :class:`Graph` is one compilation unit: an entry block, a block list,
+parameters, and an interning table for constants.  A :class:`Program`
+bundles the class table, global variable declarations and all function
+graphs — the unit the interpreter executes and the pipeline compiles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .block import Block
+from .nodes import Constant, Parameter, Value
+from .types import BOOL, INT, ClassTable, Type, VOID
+
+
+class Graph:
+    """A single function in SSA form."""
+
+    def __init__(
+        self,
+        name: str,
+        param_specs: Iterable[tuple[str, Type]] = (),
+        return_type: Type = VOID,
+    ) -> None:
+        self.name = name
+        self.return_type = return_type
+        self._block_ids = 0
+        self.blocks: list[Block] = []
+        self.parameters: list[Parameter] = [
+            Parameter(i, pname, ty) for i, (pname, ty) in enumerate(param_specs)
+        ]
+        self._constants: dict[tuple, Constant] = {}
+        self.entry: Block = self.new_block("entry")
+
+    # ------------------------------------------------------------------
+    # Block management
+    # ------------------------------------------------------------------
+    def _next_block_id(self) -> int:
+        self._block_ids += 1
+        return self._block_ids
+
+    def new_block(self, name: Optional[str] = None) -> Block:
+        block = Block(self, name)
+        self.blocks.append(block)
+        return block
+
+    def remove_block(self, block: Block) -> None:
+        """Delete an unreachable block: drop its edges and all uses held
+        by its phis, instructions and terminator."""
+        assert block is not self.entry, "cannot remove the entry block"
+        block.clear_terminator()
+        for ins in list(block.phis) + list(block.instructions):
+            # Uses from within the dying block are released by
+            # drop_inputs of the sibling instructions; external uses
+            # must already be gone (verifier property of unreachable
+            # removal: callers remove whole unreachable regions).
+            ins.drop_inputs()
+            ins.uses.clear()
+            ins.block = None
+        block.phis.clear()
+        block.instructions.clear()
+        self.blocks.remove(block)
+
+    # ------------------------------------------------------------------
+    # Constants
+    # ------------------------------------------------------------------
+    def constant(self, value, ty: Optional[Type] = None) -> Constant:
+        """Interned constant; type is inferred for ints/bools/None."""
+        if ty is None:
+            if isinstance(value, bool):
+                ty = BOOL
+            elif isinstance(value, int):
+                ty = INT
+            else:
+                raise TypeError(f"cannot infer constant type of {value!r}")
+        key = (value if value is not None else "<null>", repr(ty))
+        existing = self._constants.get(key)
+        if existing is not None:
+            return existing
+        const = Constant(value, ty)
+        self._constants[key] = const
+        return const
+
+    def const_int(self, value: int) -> Constant:
+        return self.constant(value, INT)
+
+    def const_bool(self, value: bool) -> Constant:
+        return self.constant(bool(value), BOOL)
+
+    def const_null(self, ty: Type) -> Constant:
+        return self.constant(None, ty)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def instruction_count(self) -> int:
+        """Number of phis + instructions across all blocks."""
+        return sum(len(b.phis) + len(b.instructions) for b in self.blocks)
+
+    def merge_blocks(self) -> list[Block]:
+        return [b for b in self.blocks if b.is_merge()]
+
+    def describe(self) -> str:
+        from .cfgutils import reverse_post_order
+
+        header = f"fn {self.name}({', '.join(repr(p) for p in self.parameters)}) -> {self.return_type!r}"
+        body = "\n".join(b.describe() for b in reverse_post_order(self))
+        return f"{header}\n{body}"
+
+    def __repr__(self) -> str:
+        return f"<Graph {self.name}: {len(self.blocks)} blocks>"
+
+
+class Program:
+    """A whole MiniLang program: classes, globals and functions."""
+
+    def __init__(self) -> None:
+        self.class_table = ClassTable()
+        self.globals: dict[str, Type] = {}
+        self.functions: dict[str, Graph] = {}
+
+    def declare_global(self, name: str, ty: Type) -> None:
+        if name in self.globals:
+            raise ValueError(f"duplicate global {name!r}")
+        self.globals[name] = ty
+
+    def add_function(self, graph: Graph) -> Graph:
+        if graph.name in self.functions:
+            raise ValueError(f"duplicate function {graph.name!r}")
+        self.functions[graph.name] = graph
+        return graph
+
+    def function(self, name: str) -> Graph:
+        return self.functions[name]
+
+    def describe(self) -> str:
+        return "\n\n".join(g.describe() for g in self.functions.values())
+
+
+def uses_of(value: Value):
+    """All (user, count) pairs of a value — convenience for analyses."""
+    return list(value.uses.items())

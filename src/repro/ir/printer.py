@@ -1,0 +1,15 @@
+"""Human-readable IR dumps (thin wrappers over ``describe``)."""
+
+from __future__ import annotations
+
+from .graph import Graph, Program
+
+
+def format_graph(graph: Graph) -> str:
+    """Full textual dump of one function graph in RPO."""
+    return graph.describe()
+
+
+def format_program(program: Program) -> str:
+    """Textual dump of every function of a program."""
+    return program.describe()

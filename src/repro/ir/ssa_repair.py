@@ -1,0 +1,148 @@
+"""On-demand SSA reconstruction after duplication.
+
+Tail-duplicating a merge block turns each value it defined into *several*
+definitions (one per duplicated copy).  Uses in dominated blocks must be
+rewired to phis placed on the iterated dominance frontier of the new
+definition blocks — this is precisely the "complex analysis to generate
+valid φ instructions for usages in dominated blocks" that Section 3.1 of
+the paper identifies as the expensive part of real duplication (and that
+the simulation tier avoids).
+
+The algorithm is the textbook one: place phis on DF+ of the definition
+set, then resolve each use by walking up the dominator tree to the
+nearest definition, filling phi operands recursively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .block import Block
+from .cfgutils import block_of_use
+from .dominators import DominatorTree
+from .graph import Graph
+from .nodes import Phi, User, Value
+from .types import Type
+
+
+class SsaRepair:
+    """Rewires uses of a value that now has multiple definitions."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        dom: DominatorTree,
+        definitions: dict[Block, Value],
+        value_type: Type,
+    ) -> None:
+        self.graph = graph
+        self.dom = dom
+        self.value_type = value_type
+        # block -> definition available at the *end* of that block.
+        self.defs: dict[Block, Value] = dict(definitions)
+        self.phi_blocks = dom.iterated_dominance_frontier(set(definitions))
+        self.inserted_phis: list[Phi] = []
+
+    # ------------------------------------------------------------------
+    def definition_at_end_of(self, block: Block) -> Value:
+        """The reaching definition live-out of ``block``."""
+        existing = self.defs.get(block)
+        if existing is not None:
+            return existing
+        if block in self.phi_blocks:
+            return self._materialize_phi(block)
+        parent = self.dom.immediate_dominator(block)
+        if parent is block:
+            raise LookupError(
+                "no reaching definition at entry - use before def after duplication"
+            )
+        value = self.definition_at_end_of(parent)
+        self.defs[block] = value
+        return value
+
+    def _materialize_phi(self, block: Block) -> Phi:
+        phi = Phi(block, self.value_type, [])
+        block.add_phi(phi)
+        self.inserted_phis.append(phi)
+        # Register before filling inputs: loops reach the phi itself.
+        self.defs[block] = phi
+        for pred in block.predecessors:
+            phi._append_input(self.definition_at_end_of(pred))
+        return phi
+
+    # ------------------------------------------------------------------
+    def rewrite_uses(self, uses: list[tuple[User, int]]) -> None:
+        """Point each recorded (user, operand-slot) at its reaching def."""
+        for user, slot in uses:
+            use_block = block_of_use(user, self._phi_pred_index(user, slot))
+            replacement = self.definition_at_end_of(use_block)
+            user.set_input(slot, replacement)
+
+    @staticmethod
+    def _phi_pred_index(user: User, slot: int) -> int:
+        # For phis the slot *is* the predecessor index; for any other
+        # user block_of_use ignores the index argument.
+        return slot
+
+    def prune_dead_phis(self) -> None:
+        """Drop inserted phis that ended up unused (no liveness pass is
+        run up front, so over-approximation is expected).  A phi whose
+        only user is itself (self loop input) is dead too."""
+        changed = True
+        while changed:
+            changed = False
+            for phi in list(self.inserted_phis):
+                if phi.block is None:
+                    continue
+                if any(user is not phi for user in phi.uses):
+                    continue
+                # Clear self-referencing operand slots (positional phi
+                # inputs cannot be deleted, so point them elsewhere).
+                for slot, operand in enumerate(phi.inputs):
+                    if operand is phi:
+                        other = next(
+                            (v for v in phi.inputs if v is not phi), None
+                        )
+                        if other is None:
+                            break
+                        phi.set_input(slot, other)
+                if not phi.has_uses():
+                    phi.block.remove_instruction(phi)
+                    self.inserted_phis.remove(phi)
+                    changed = True
+
+
+def repair_value(
+    graph: Graph,
+    dom: DominatorTree,
+    definitions: dict[Block, Value],
+    uses: list[tuple[User, int]],
+    value_type: Type,
+) -> list[Phi]:
+    """One-shot helper: repair all ``uses`` of a value that now has the
+    given per-block ``definitions``. Returns the phis that were inserted
+    (after pruning)."""
+    repair = SsaRepair(graph, dom, definitions, value_type)
+    repair.rewrite_uses(uses)
+    repair.prune_dead_phis()
+    return [phi for phi in repair.inserted_phis if phi.block is not None]
+
+
+def collect_external_uses(value: Value, within: Block) -> list[tuple[User, int]]:
+    """All (user, slot) pairs of ``value`` consumed outside ``within``.
+
+    Phi uses are attributed to the predecessor edge (SSA use-block rule).
+    """
+    result: list[tuple[User, int]] = []
+    for user in list(value.uses):
+        for slot, operand in enumerate(user.inputs):
+            if operand is not value:
+                continue
+            use_block: Optional[Block]
+            if isinstance(user, Phi):
+                use_block = user.block.predecessors[slot]
+            else:
+                use_block = user.block
+            if use_block is not within:
+                result.append((user, slot))
+    return result

@@ -1,0 +1,109 @@
+"""The applicability-check / action-step optimization framework.
+
+Section 4.1 of the paper splits every optimization into a *precondition*
+(an applicability check, AC) and an *action step* (after Chang et al.),
+and modifies the action steps "to not change the underlying IR but to
+return new (sub)graphs containing the result of the optimization".
+
+That is exactly the contract here:
+
+* an AC+action is a function ``(instruction, ctx) -> Rewrite | None``;
+* a :class:`Rewrite` describes — without mutating anything — how the
+  instruction would be replaced: by nothing (*Empty*), by an existing
+  value (*Redundant Node*), or by freshly built nodes (*New Node*);
+* the **real optimization phases** apply rewrites destructively, while
+  the **DBDS simulation tier** only reads their cost deltas.
+
+The :class:`OptimizationContext` abstracts the difference between the
+two consumers: the simulator resolves operands through its synonym map
+and refined stamps, the real phases resolve identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..costmodel.model import cycles_of, size_of
+from ..ir.graph import Graph
+from ..ir.nodes import Instruction, Value
+from ..ir.stamps import Stamp
+
+
+@dataclass
+class Rewrite:
+    """The outcome of an action step, as a pure description.
+
+    ``replacement is None`` means the instruction disappears without a
+    substitute (legal only for value-less instructions such as stores).
+    ``new_instructions`` are nodes the action step built; they must be
+    scheduled immediately before the rewritten instruction when the
+    rewrite is applied for real.
+    """
+
+    replacement: Optional[Value] = None
+    new_instructions: list[Instruction] = field(default_factory=list)
+    #: short human-readable tag of the optimization that fired
+    reason: str = ""
+
+    @classmethod
+    def remove(cls, reason: str) -> "Rewrite":
+        """*Empty* result: the node is eliminated outright."""
+        return cls(replacement=None, reason=reason)
+
+    @classmethod
+    def redundant(cls, existing: Value, reason: str) -> "Rewrite":
+        """*Redundant Node* result: an existing value computes the same."""
+        return cls(replacement=existing, reason=reason)
+
+    @classmethod
+    def with_new(
+        cls, new_instructions: list[Instruction], reason: str
+    ) -> "Rewrite":
+        """*New Node* result: cheaper fresh nodes replace the old one.
+
+        The last new instruction is the replacement value.
+        """
+        return cls(
+            replacement=new_instructions[-1],
+            new_instructions=new_instructions,
+            reason=reason,
+        )
+
+    # ------------------------------------------------------------------
+    def cycles_delta(self, old: Instruction) -> float:
+        """Cycles saved by this rewrite (positive = faster)."""
+        return cycles_of(old) - sum(cycles_of(n) for n in self.new_instructions)
+
+    def size_delta(self, old: Instruction) -> float:
+        """Code size saved by this rewrite (positive = smaller)."""
+        return size_of(old) - sum(size_of(n) for n in self.new_instructions)
+
+
+class OptimizationContext:
+    """Operand resolution and stamp refinement for ACs.
+
+    The base implementation is the *real phase* view: identity
+    resolution, static stamps, no extra facts.  The DBDS simulator
+    subclasses it with synonym maps and branch-refined stamps.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    def resolve(self, value: Value) -> Value:
+        """Follow synonym substitutions (identity outside simulation)."""
+        return value
+
+    def stamp(self, value: Value) -> Stamp:
+        """The best known stamp of (the resolution of) ``value``."""
+        return self.resolve(value).stamp
+
+    def constant_value(self, value: Value):
+        """``(v,)`` when the resolved value is statically known, else None."""
+        resolved = self.resolve(value)
+        from ..ir.nodes import Constant
+
+        if isinstance(resolved, Constant):
+            return (resolved.value,)
+        return self.stamp(value).as_constant()

@@ -1,0 +1,186 @@
+"""Size-budgeted direct-call inlining.
+
+The Graal front end inlines before DBDS runs (Section 5.1) — many
+duplication opportunities (boxing, accessors) only exist after inlining,
+which is why the workload generators lean on small helper functions.
+
+Inlining splices a clone of the callee between the call block and a
+continuation block; multiple returns merge at the continuation with a
+phi over the returned values.  Probabilities and trip counts survive via
+the shared cloning helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir.block import Block
+from ..ir.cfgutils import canonical_cfg_cleanup
+from ..ir.copy import clone_instruction, clone_terminator
+from ..ir.graph import Graph, Program
+from ..ir.nodes import Call, Constant, Goto, Phi, Return, Value
+from ..ir.types import VOID
+
+
+class InliningPhase:
+    """Iteratively inline small callees into a caller graph."""
+
+    name = "inlining"
+
+    def __init__(
+        self,
+        program: Program,
+        max_callee_size: int = 80,
+        max_rounds: int = 4,
+        caller_growth_factor: float = 4.0,
+        caller_size_cap: int = 2000,
+    ) -> None:
+        self.program = program
+        self.max_callee_size = max_callee_size
+        self.max_rounds = max_rounds
+        self.caller_growth_factor = caller_growth_factor
+        self.caller_size_cap = caller_size_cap
+
+    def run(self, graph: Graph) -> int:
+        initial_size = max(graph.instruction_count(), 1)
+        budget = min(initial_size * self.caller_growth_factor, self.caller_size_cap)
+        inlined = 0
+        for _ in range(self.max_rounds):
+            calls = [
+                ins
+                for block in graph.blocks
+                for ins in block.instructions
+                if isinstance(ins, Call)
+            ]
+            progress = False
+            for call in calls:
+                if call.block is None:
+                    continue
+                if graph.instruction_count() >= budget:
+                    break
+                if self._should_inline(graph, call):
+                    self.inline_call(graph, call)
+                    inlined += 1
+                    progress = True
+            if not progress:
+                break
+        if inlined:
+            canonical_cfg_cleanup(graph)
+        return inlined
+
+    def _should_inline(self, graph: Graph, call: Call) -> bool:
+        if call.callee == graph.name:
+            return False  # direct recursion
+        callee = self.program.functions.get(call.callee)
+        if callee is None:
+            return False
+        if callee.instruction_count() > self.max_callee_size:
+            return False
+        # A callee that never returns would leave the continuation
+        # unreachable and the call result undefined; keep the call.
+        if not any(isinstance(b.terminator, Return) for b in callee.blocks):
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def inline_call(self, graph: Graph, call: Call) -> None:
+        """Replace one call site by a clone of the callee body."""
+        callee = self.program.function(call.callee)
+        call_block = call.block
+        call_index = call_block.instructions.index(call)
+
+        # 1. Split the call block: everything after the call moves into a
+        #    fresh continuation block, which inherits the terminator.
+        continuation = graph.new_block(f"inl_{call.callee}_ret")
+        for ins in call_block.instructions[call_index + 1 :]:
+            ins.block = continuation
+            continuation.instructions.append(ins)
+        del call_block.instructions[call_index + 1 :]
+        terminator = call_block.terminator
+        call_block.terminator = None
+        continuation.terminator = terminator
+        terminator.block = continuation
+        for target in terminator.targets:
+            index = target.predecessor_index(call_block)
+            target.predecessors[index] = continuation
+
+        # 2. Clone the callee body into the caller.
+        value_map: dict[Value, Value] = {
+            param: arg for param, arg in zip(callee.parameters, call.args)
+        }
+        block_map: dict[Block, Block] = {}
+        for src in callee.blocks:
+            dst = graph.new_block(f"inl_{call.callee}_{src.name}")
+            trips = getattr(src, "profile_trip_count", None)
+            if trips is not None:
+                dst.profile_trip_count = trips
+            block_map[src] = dst
+
+        def mapped(value: Value) -> Value:
+            known = value_map.get(value)
+            if known is not None:
+                return known
+            if isinstance(value, Constant):
+                cloned = graph.constant(value.value, value.type)
+                value_map[value] = cloned
+                return cloned
+            raise KeyError(f"unmapped value {value!r} while inlining {call.callee}")
+
+        from ..ir.copy import clone_order
+
+        order = clone_order(callee)
+        pending_phis: list[tuple[Phi, Phi]] = []
+        for src in order:
+            dst = block_map[src]
+            for phi in src.phis:
+                clone = Phi(dst, phi.type, [])
+                dst.add_phi(clone)
+                value_map[phi] = clone
+                pending_phis.append((phi, clone))
+        for src in order:
+            dst = block_map[src]
+            for ins in src.instructions:
+                value_map[ins] = dst.append(clone_instruction(ins, mapped))
+
+        # 3. Terminators: returns become Gotos to the continuation.
+        return_sites: list[tuple[Block, Optional[Value]]] = []
+        for src in callee.blocks:
+            dst = block_map[src]
+            term = src.terminator
+            if isinstance(term, Return):
+                value = mapped(term.value) if term.value is not None else None
+                return_sites.append((dst, value))
+                dst.set_terminator(Goto(continuation))
+            else:
+                dst.set_terminator(
+                    clone_terminator(term, mapped, lambda b: block_map[b])
+                )
+        for src in callee.blocks:
+            dst = block_map[src]
+            desired = [block_map[p] for p in src.predecessors]
+            actual_non_entry = [p for p in dst.predecessors if p in desired]
+            if actual_non_entry != desired:
+                others = [p for p in dst.predecessors if p not in desired]
+                dst.predecessors = desired + others
+        for old_phi, new_phi in pending_phis:
+            for value in old_phi.inputs:
+                new_phi._append_input(mapped(value))
+
+        # 4. Jump into the callee entry and wire the return value.
+        call_block.set_terminator(Goto(block_map[callee.entry]))
+        if call.type != VOID and call.has_uses():
+            if len(return_sites) == 1:
+                replacement = return_sites[0][1]
+            else:
+                # Continuation predecessor order: return_sites were
+                # wired via set_terminator in callee block order, and
+                # those Gotos are its only predecessors.
+                order = {
+                    block: value for block, value in return_sites
+                }
+                inputs = [order[pred] for pred in continuation.predecessors]
+                phi = Phi(continuation, call.type, inputs)
+                continuation.add_phi(phi)
+                replacement = phi
+            call.replace_all_uses(replacement)
+        call_block.remove_instruction(call)

@@ -1,0 +1,178 @@
+"""The compilation pipeline: front-end phases, DBDS, metrics.
+
+Mirrors the Graal front end of Section 5.1: inlining and the high-level
+optimizations run first, DBDS sits in the middle, and cleanup phases run
+after.  Per compilation unit the pipeline records the three quantities
+the paper evaluates: compile time (wall clock of the phases), code size
+(node-cost-model size of the final graph), and — via
+:func:`measure_performance` — the simulated peak performance of the
+generated code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ..costmodel.estimator import graph_code_size
+from ..costmodel.model import cycles_of
+from ..dbds.backtracking import BacktrackingDuplication
+from ..dbds.phase import DbdsPhase, DbdsStats
+from ..frontend.irbuilder import compile_source
+from ..interp.interpreter import ExecutionResult, Interpreter
+from ..interp.profile import apply_profile, profile_program
+from ..ir.graph import Graph, Program
+from ..ir.verifier import verify_graph
+from ..opts.canonicalize import CanonicalizerPhase
+from ..opts.condelim import ConditionalEliminationPhase
+from ..opts.gvn import GlobalValueNumberingPhase
+from ..opts.inline import InliningPhase
+from ..opts.licm import LoopInvariantCodeMotionPhase
+from ..opts.pea import PartialEscapeAnalysisPhase
+from ..opts.readelim import ReadEliminationPhase
+from .config import BASELINE, CompilerConfig
+
+
+@dataclass
+class UnitMetrics:
+    """Metrics of one compiled function (compilation unit)."""
+
+    function: str
+    compile_time: float = 0.0
+    code_size: float = 0.0
+    initial_code_size: float = 0.0
+    duplications: int = 0
+    candidates: int = 0
+
+    @property
+    def code_size_increase(self) -> float:
+        if self.initial_code_size == 0:
+            return 0.0
+        return self.code_size / self.initial_code_size - 1.0
+
+
+@dataclass
+class CompilationReport:
+    """Aggregated result of compiling a whole program."""
+
+    config: str
+    units: list[UnitMetrics] = field(default_factory=list)
+
+    @property
+    def total_compile_time(self) -> float:
+        return sum(u.compile_time for u in self.units)
+
+    @property
+    def total_code_size(self) -> float:
+        return sum(u.code_size for u in self.units)
+
+    @property
+    def total_duplications(self) -> int:
+        return sum(u.duplications for u in self.units)
+
+
+class Compiler:
+    """Compiles IR programs under a :class:`CompilerConfig`."""
+
+    def __init__(self, config: CompilerConfig = BASELINE) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def compile_program(self, program: Program) -> CompilationReport:
+        """Optimize every function in place; returns per-unit metrics."""
+        report = CompilationReport(config=self.config.name)
+        for name in list(program.functions):
+            report.units.append(self.compile_function(program, name))
+        return report
+
+    def compile_function(self, program: Program, name: str) -> UnitMetrics:
+        graph = program.function(name)
+        metrics = UnitMetrics(function=name)
+        start = time.perf_counter()
+
+        if self.config.enable_inlining:
+            InliningPhase(program).run(graph)
+        self._cleanup_phases(program, graph)
+        if self.config.enable_peeling:
+            from ..opts.peeling import LoopPeelingPhase
+
+            LoopPeelingPhase().run(graph)
+            self._cleanup_phases(program, graph)
+        metrics.initial_code_size = graph_code_size(graph)
+
+        if self.config.backtracking:
+            backtracker = BacktrackingDuplication(program)
+            new_graph = backtracker.run(graph)
+            if new_graph is not graph:
+                program.functions[name] = new_graph
+                graph = new_graph
+            metrics.duplications = backtracker.stats.kept
+        elif self.config.enable_dbds:
+            phase = DbdsPhase(program, self.config.dbds_config())
+            stats: DbdsStats = phase.run(graph)
+            metrics.duplications = stats.duplications_performed
+            metrics.candidates = stats.candidates_simulated
+
+        self._cleanup_phases(program, graph)
+        metrics.compile_time = time.perf_counter() - start
+        metrics.code_size = graph_code_size(graph)
+        if self.config.paranoid:
+            verify_graph(graph)
+        return metrics
+
+    def _cleanup_phases(self, program: Program, graph: Graph) -> None:
+        CanonicalizerPhase().run(graph)
+        GlobalValueNumberingPhase().run(graph)
+        LoopInvariantCodeMotionPhase().run(graph)
+        ConditionalEliminationPhase().run(graph)
+        ReadEliminationPhase(program).run(graph)
+        PartialEscapeAnalysisPhase(program).run(graph)
+        CanonicalizerPhase().run(graph)
+        if self.config.paranoid:
+            verify_graph(graph)
+
+
+# ----------------------------------------------------------------------
+# Convenience entry points used by examples, tests and the harness.
+# ----------------------------------------------------------------------
+def compile_and_profile(
+    source: str,
+    entry: str,
+    profile_args: Iterable[list[Any]],
+    config: CompilerConfig = BASELINE,
+) -> tuple[Program, CompilationReport]:
+    """Front-end + profiling run + optimizing compilation.
+
+    This is the full JIT story in one call: parse, collect a profile by
+    interpreting the unoptimized program, feed the profile to the
+    compiler, optimize.
+    """
+    program = compile_source(source)
+    collector = profile_program(program, entry, profile_args)
+    apply_profile(program, collector)
+    report = Compiler(config).compile_program(program)
+    return program, report
+
+
+def measure_performance(
+    program: Program,
+    entry: str,
+    arg_sets: Iterable[list[Any]],
+    max_steps: int = 50_000_000,
+) -> tuple[float, list[ExecutionResult]]:
+    """Simulated peak performance: total cost-model cycles over runs."""
+    interpreter = Interpreter(
+        program,
+        max_steps=max_steps,
+        cycle_cost=cycles_of,
+        terminator_cost=cycles_of,
+    )
+    results = []
+    total = 0.0
+    for args in arg_sets:
+        interpreter.reset()
+        result = interpreter.run(entry, list(args))
+        results.append(result)
+        total += result.cycles
+    return total, results

@@ -1,0 +1,13 @@
+"""Shared pytest fixtures (helpers live in tests/helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.helpers import build_diamond
+
+
+@pytest.fixture
+def diamond() -> dict:
+    """The Figure 1 diamond CFG, built fresh per test."""
+    return build_diamond()

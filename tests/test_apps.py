@@ -1,0 +1,89 @@
+"""Integration tests on the bundled MiniLang applications: known-answer
+checks plus cross-configuration and backend differentials."""
+
+import pathlib
+
+import pytest
+
+from repro import BASELINE, DBDS, DUPALOT, compile_and_profile, compile_source
+from repro.backend import Machine, compile_to_machine
+from repro.interp.interpreter import Interpreter
+
+APPS_DIR = pathlib.Path(__file__).parent.parent / "examples" / "apps"
+
+
+def app_source(name: str) -> str:
+    return (APPS_DIR / f"{name}.mini").read_text()
+
+
+class TestNQueens:
+    KNOWN = {1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92}
+
+    @pytest.mark.parametrize("n,expected", sorted(KNOWN.items()))
+    def test_known_solution_counts(self, n, expected):
+        program = compile_source(app_source("nqueens"))
+        assert Interpreter(program).run("main", [n]).value == expected
+
+    def test_configs_agree(self):
+        source = app_source("nqueens")
+        values = {}
+        for config in (BASELINE, DBDS, DUPALOT):
+            program, _ = compile_and_profile(source, "main", [[5]], config)
+            values[config.name] = Interpreter(program).run("main", [7]).value
+        assert set(values.values()) == {40}
+
+    def test_backend_agrees(self):
+        program = compile_source(app_source("nqueens"))
+        machine = Machine(compile_to_machine(program))
+        assert machine.run("main", [6]).value == 4
+
+
+class TestWordFreq:
+    def test_deterministic_result(self):
+        program = compile_source(app_source("wordfreq"))
+        first = Interpreter(program).run("main", [300]).value
+        second = Interpreter(program).run("main", [300]).value
+        assert first == second
+
+    def test_configs_agree(self):
+        source = app_source("wordfreq")
+        reference_program = compile_source(source)
+        reference = Interpreter(reference_program).run("main", [250]).value
+        for config in (DBDS, DUPALOT):
+            program, _ = compile_and_profile(source, "main", [[60]], config)
+            assert Interpreter(program).run("main", [250]).value == reference
+
+    def test_backend_agrees(self):
+        source = app_source("wordfreq")
+        program = compile_source(source)
+        reference = Interpreter(program).run("main", [150]).value
+        machine = Machine(compile_to_machine(compile_source(source)))
+        assert machine.run("main", [150]).value == reference
+
+    def test_global_state_builds_chains(self):
+        program = compile_source(app_source("wordfreq"))
+        interp = Interpreter(program)
+        interp.run("main", [500])
+        assert interp.state.globals["table"] is not None
+        assert interp.state.globals["collisions"] > 0
+
+
+class TestMatrix:
+    def test_power_identities(self):
+        program = compile_source(app_source("matrix"))
+        interp = Interpreter(program)
+        # trace(M^0) == trace(I) == 4
+        assert interp.run("main", [0]).value == 4
+
+    def test_deterministic_and_config_invariant(self):
+        source = app_source("matrix")
+        reference = Interpreter(compile_source(source)).run("main", [11]).value
+        for config in (DBDS, DUPALOT):
+            program, _ = compile_and_profile(source, "main", [[3]], config)
+            assert Interpreter(program).run("main", [11]).value == reference
+
+    def test_backend_agrees(self):
+        source = app_source("matrix")
+        reference = Interpreter(compile_source(source)).run("main", [8]).value
+        machine = Machine(compile_to_machine(compile_source(source)))
+        assert machine.run("main", [8]).value == reference

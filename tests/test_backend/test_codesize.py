@@ -1,0 +1,109 @@
+"""Tests for machine-level code-size estimation."""
+
+import pytest
+
+from repro.backend import compile_to_machine, function_bytes, program_bytes
+from repro.backend.codesize import instruction_bytes
+from repro.backend.lir import (
+    Immediate,
+    LirBinOp,
+    LirMove,
+    LirReturn,
+    PReg,
+    StackSlot,
+)
+from repro.backend.lowering import lower_program
+from repro.backend.regalloc import allocate_program
+from repro.frontend.irbuilder import compile_source
+from repro.ir.ops import BinOp
+
+
+class TestInstructionBytes:
+    def test_register_operands_are_base_size(self):
+        mov = LirMove(PReg(0), PReg(1))
+        assert instruction_bytes(mov) == 2
+
+    def test_immediates_cost_extra(self):
+        small = LirMove(PReg(0), Immediate(5))
+        assert instruction_bytes(small) == 4
+        large = LirMove(PReg(0), Immediate(1 << 40))
+        assert instruction_bytes(large) == 8
+
+    def test_stack_slots_cost_extra(self):
+        spilled = LirBinOp(BinOp.ADD, StackSlot(0), PReg(1), StackSlot(2))
+        plain = LirBinOp(BinOp.ADD, PReg(0), PReg(1), PReg(2))
+        assert instruction_bytes(spilled) > instruction_bytes(plain)
+
+    def test_return_is_small(self):
+        assert instruction_bytes(LirReturn(None)) == 1
+
+
+class TestProgramBytes:
+    SOURCE = """
+fn helper(a: int) -> int { return a * 3; }
+fn main(n: int) -> int {
+  var s: int = 0;
+  var i: int = 0;
+  while (i < n) { s = s + helper(i); i = i + 1; }
+  return s;
+}
+"""
+
+    def test_program_is_sum_of_functions(self):
+        program = compile_source(self.SOURCE)
+        lir = compile_to_machine(program)
+        assert program_bytes(lir) == sum(
+            function_bytes(fn) for fn in lir.functions.values()
+        )
+
+    def test_more_code_more_bytes(self):
+        small = compile_to_machine(
+            compile_source("fn main(n: int) -> int { return n; }")
+        )
+        large = compile_to_machine(compile_source(self.SOURCE))
+        assert program_bytes(large) > program_bytes(small)
+
+    def test_register_pressure_increases_size(self):
+        program_text = """
+fn f(a: int, b: int, c: int, d: int) -> int {
+  var e: int = a + b;
+  var g: int = c + d;
+  var h: int = a * c;
+  var i: int = b * d;
+  return (e + g) * (h + i) + e * h + g * i;
+}
+"""
+        plenty = lower_program(compile_source(program_text))
+        allocate_program(plenty, 16)
+        starved = lower_program(compile_source(program_text))
+        allocate_program(starved, 2)
+        assert program_bytes(starved) > program_bytes(plenty)
+
+    def test_duplication_increases_machine_size(self):
+        """The machine-level view of the paper's code-size metric: tail
+        duplication grows installed code even when the IR-level estimate
+        shrinks (EXPERIMENTS.md divergence #2)."""
+        from repro.pipeline.compiler import compile_and_profile
+        from repro.pipeline.config import BASELINE, DUPALOT
+
+        source = """
+fn f(x: int, w: int) -> int {
+  var p: int;
+  if (x > 5) { p = x; } else { p = 1; }
+  w = (w ^ (w >> 3)) + 11;
+  w = (w | (w >> 5)) + 13;
+  w = (w + (w >> 2)) + 17;
+  return p * 3 + w;
+}
+fn main(n: int) -> int {
+  var s: int = 0;
+  var i: int = 0;
+  while (i < n) { s = s + f(i, s); i = i + 1; }
+  return s;
+}
+"""
+        base_program, _ = compile_and_profile(source, "main", [[12]], BASELINE)
+        dup_program, _ = compile_and_profile(source, "main", [[12]], DUPALOT)
+        base_bytes = program_bytes(compile_to_machine(base_program))
+        dup_bytes = program_bytes(compile_to_machine(dup_program))
+        assert dup_bytes > base_bytes

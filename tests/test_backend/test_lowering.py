@@ -1,0 +1,151 @@
+"""Tests for IR → LIR lowering, especially parallel-move resolution."""
+
+import pytest
+
+from repro.backend.lir import Immediate, LirMove, VReg, fresh_vreg
+from repro.backend.lowering import (
+    lower_graph,
+    lower_program,
+    sequentialize_parallel_moves,
+)
+from repro.backend.machine import Machine
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter
+
+
+def simulate_moves(moves, initial):
+    """Run emitted moves sequentially; return final register file."""
+    state = dict(initial)
+    for move in moves:
+        assert isinstance(move, LirMove)
+        src = (
+            move.src.value
+            if isinstance(move.src, Immediate)
+            else state[move.src]
+        )
+        state[move.dst] = src
+    return state
+
+
+class TestParallelMoves:
+    def test_independent_moves(self):
+        a, b, c, d = (fresh_vreg() for _ in range(4))
+        moves = [(a, b), (c, d)]
+        out = sequentialize_parallel_moves(moves)
+        state = simulate_moves(out, {b: 1, d: 2})
+        assert state[a] == 1 and state[c] == 2
+
+    def test_chain_ordering(self):
+        # a <- b, b <- c: must copy b before overwriting it.
+        a, b, c = (fresh_vreg() for _ in range(3))
+        out = sequentialize_parallel_moves([(a, b), (b, c)])
+        state = simulate_moves(out, {b: 10, c: 20})
+        assert state[a] == 10 and state[b] == 20
+
+    def test_swap_cycle_broken_with_temp(self):
+        a, b = fresh_vreg(), fresh_vreg()
+        out = sequentialize_parallel_moves([(a, b), (b, a)])
+        state = simulate_moves(out, {a: 1, b: 2})
+        assert state[a] == 2 and state[b] == 1
+        assert len(out) == 3  # temp + two moves
+
+    def test_three_cycle(self):
+        a, b, c = (fresh_vreg() for _ in range(3))
+        out = sequentialize_parallel_moves([(a, b), (b, c), (c, a)])
+        state = simulate_moves(out, {a: 1, b: 2, c: 3})
+        assert (state[a], state[b], state[c]) == (2, 3, 1)
+
+    def test_immediate_sources(self):
+        a, b = fresh_vreg(), fresh_vreg()
+        out = sequentialize_parallel_moves([(a, Immediate(5)), (b, a)])
+        state = simulate_moves(out, {a: 1})
+        assert state[b] == 1 and state[a] == 5
+
+    def test_self_move_dropped(self):
+        a = fresh_vreg()
+        assert sequentialize_parallel_moves([(a, a)]) == []
+
+
+class TestLowering:
+    def test_every_node_kind_lowers(self):
+        program = compile_source(
+            """
+class A { x: int; next: A; }
+global g: int;
+fn f(a: A, i: int, flag: bool) -> int {
+  var arr: int[] = new int[4];
+  arr[0] = i * 2 + (i / 3) - (i % 5);
+  var b: A = new A { x = arr[0], next = a };
+  g = b.x;
+  if (!flag && a != null) { return 0 - g + len(arr); }
+  var t: int = helper(i);
+  return t ^ (i << 2) | (i >>> 1) & g;
+}
+fn helper(x: int) -> int { return x + 1; }
+"""
+        )
+        lir = lower_program(program)
+        assert set(lir.functions) == {"f", "helper"}
+        assert lir.function("f").instruction_count() > 10
+
+    def test_block_structure_mirrors_cfg(self):
+        program = compile_source(
+            "fn f(x: int) -> int { if (x > 0) { return 1; } return 2; }"
+        )
+        fn = lower_graph(program.function("f"))
+        # entry + two branch targets
+        assert len(fn.blocks) == 3
+        entry = fn.blocks[fn.entry]
+        assert entry.successors and len(entry.successors) == 2
+
+    def test_predecessors_linked(self):
+        program = compile_source(
+            "fn f(n: int) -> int { var i: int = 0; while (i < n) { i = i + 1; } return i; }"
+        )
+        fn = lower_graph(program.function("f"))
+        # The loop header has two predecessors (entry edge + back edge).
+        headers = [b for b in fn.blocks.values() if len(b.predecessors) == 2]
+        assert len(headers) == 1
+
+    def test_phi_moves_on_predecessor_edges(self):
+        program = compile_source(
+            """
+fn f(x: int) -> int {
+  var p: int;
+  if (x > 0) { p = x; } else { p = 7; }
+  return p;
+}
+"""
+        )
+        fn = lower_graph(program.function("f"))
+        moves = [
+            ins
+            for b in fn.blocks.values()
+            for ins in b.instructions
+            if isinstance(ins, LirMove)
+        ]
+        # One move per predecessor edge of the merge.
+        assert len(moves) == 2
+
+    def test_loop_swap_pattern_executes_correctly(self):
+        # Classic phi-swap: needs the parallel-move cycle breaker.
+        program = compile_source(
+            """
+fn fib(n: int) -> int {
+  var a: int = 0;
+  var b: int = 1;
+  var i: int = 0;
+  while (i < n) {
+    var t: int = a + b;
+    a = b;
+    b = t;
+    i = i + 1;
+  }
+  return a;
+}
+"""
+        )
+        lir = lower_program(program)
+        machine = Machine(lir)
+        expected = Interpreter(program).run("fib", [20]).value
+        assert machine.run("fib", [20]).value == expected

@@ -1,0 +1,98 @@
+"""Tests for linear-scan register allocation."""
+
+import pytest
+
+from repro.backend.lir import PReg, StackSlot, VReg
+from repro.backend.liveness import compute_intervals
+from repro.backend.lowering import lower_graph, lower_program
+from repro.backend.machine import Machine
+from repro.backend.regalloc import allocate, allocate_program
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter
+
+HIGH_PRESSURE = """
+fn f(a: int, b: int, c: int, d: int) -> int {
+  var e: int = a + b;
+  var g: int = c + d;
+  var h: int = a * c;
+  var i: int = b * d;
+  var j: int = e + g;
+  var k: int = h + i;
+  var l: int = e * h;
+  var m: int = g * i;
+  return j + k + l + m + a + b + c + d;
+}
+"""
+
+
+class TestAllocation:
+    def test_no_overlapping_intervals_share_register(self):
+        program = compile_source(HIGH_PRESSURE)
+        fn = lower_graph(program.function("f"))
+        intervals = compute_intervals(fn)
+        result = allocate(fn, register_count=4)
+        by_vreg = {iv.vreg: iv for iv in intervals}
+        placed = [
+            (iv, result.mapping[iv.vreg])
+            for iv in intervals
+            if isinstance(result.mapping[iv.vreg], PReg)
+        ]
+        for i, (iv_a, loc_a) in enumerate(placed):
+            for iv_b, loc_b in placed[i + 1 :]:
+                if loc_a == loc_b:
+                    assert not iv_a.overlaps(iv_b), (
+                        f"{iv_a} and {iv_b} share {loc_a}"
+                    )
+
+    def test_spills_under_pressure(self):
+        program = compile_source(HIGH_PRESSURE)
+        fn = lower_graph(program.function("f"))
+        result = allocate(fn, register_count=3)
+        assert result.spills > 0
+        assert fn.frame_slots == result.spills
+
+    def test_no_spills_with_plenty_of_registers(self):
+        program = compile_source(
+            "fn f(a: int, b: int) -> int { return a + b; }"
+        )
+        fn = lower_graph(program.function("f"))
+        result = allocate(fn, register_count=16)
+        assert result.spills == 0
+
+    def test_all_vregs_mapped(self):
+        program = compile_source(HIGH_PRESSURE)
+        fn = lower_graph(program.function("f"))
+        result = allocate(fn, register_count=4)
+        for block in fn.blocks.values():
+            for ins in block.instructions:
+                for op in list(ins.uses()) + list(ins.defs()):
+                    assert not isinstance(op, VReg), f"unallocated {op} in {ins!r}"
+
+    @pytest.mark.parametrize("registers", [2, 3, 4, 8, 16])
+    def test_execution_correct_at_any_pressure(self, registers):
+        program = compile_source(HIGH_PRESSURE)
+        expected = Interpreter(program).run("f", [3, 5, 7, 11]).value
+        lir = lower_program(program)
+        allocate_program(lir, registers)
+        assert Machine(lir).run("f", [3, 5, 7, 11]).value == expected
+
+    def test_loop_heavy_function_with_two_registers(self):
+        program = compile_source(
+            """
+fn f(n: int) -> int {
+  var s: int = 0;
+  var p: int = 1;
+  var i: int = 0;
+  while (i < n) {
+    s = s + i * p;
+    p = p + 2;
+    i = i + 1;
+  }
+  return s + p;
+}
+"""
+        )
+        expected = Interpreter(program).run("f", [15]).value
+        lir = lower_program(program)
+        allocate_program(lir, 2)
+        assert Machine(lir).run("f", [15]).value == expected

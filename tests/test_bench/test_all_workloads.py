@@ -1,0 +1,33 @@
+"""Every benchmark of every suite must compile, verify and run cleanly
+under the DBDS configuration — the full 45-program corpus."""
+
+import pytest
+
+from repro.bench.workloads.suites import ALL_SUITES, generate_workload
+from repro.interp.interpreter import Interpreter
+from repro.ir import verify_program
+from repro.pipeline.compiler import compile_and_profile
+from repro.pipeline.config import DBDS
+
+CASES = [
+    (suite_name, benchmark)
+    for suite_name, profile in sorted(ALL_SUITES.items())
+    for benchmark in profile.benchmark_names
+]
+
+
+@pytest.mark.parametrize(
+    "suite_name,bench_name", CASES, ids=[f"{s}/{b}" for s, b in CASES]
+)
+def test_workload_compiles_and_runs(suite_name, bench_name):
+    profile = ALL_SUITES[suite_name]
+    workload = generate_workload(profile, bench_name)
+    program, report = compile_and_profile(
+        workload.source, workload.entry, workload.profile_args, DBDS
+    )
+    verify_program(program)
+    result = Interpreter(program).run(
+        workload.entry, list(workload.measure_args[0])
+    )
+    assert not result.trapped, f"{suite_name}/{bench_name}: {result.trap}"
+    assert report.total_compile_time > 0

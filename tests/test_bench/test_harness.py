@@ -1,0 +1,68 @@
+"""Tests for the evaluation harness (on a reduced suite for speed)."""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.harness import (
+    BenchmarkRow,
+    Measurement,
+    format_suite_report,
+    measure_workload,
+    run_suite,
+)
+from repro.bench.workloads.suites import MICRO, generate_workload
+from repro.pipeline.config import BASELINE, DBDS, DUPALOT
+
+
+@pytest.fixture(scope="module")
+def mini_suite_report():
+    profile = dataclasses.replace(
+        MICRO, benchmark_names=MICRO.benchmark_names[:2]
+    )
+    return run_suite(profile)
+
+
+class TestMeasureWorkload:
+    def test_measurement_fields(self):
+        workload = generate_workload(MICRO, "charcount")
+        m = measure_workload(workload, BASELINE)
+        assert m.cycles > 0
+        assert m.code_size > 0
+        assert m.compile_time > 0
+        assert m.duplications == 0
+        assert m.config == "baseline"
+
+    def test_dbds_measurement_duplicates(self):
+        workload = generate_workload(MICRO, "charcount")
+        m = measure_workload(workload, DBDS)
+        assert m.duplications > 0
+
+
+class TestSuiteReport:
+    def test_rows_cover_benchmarks(self, mini_suite_report):
+        assert len(mini_suite_report.rows) == 2
+        assert mini_suite_report.config_names == ["dbds", "dupalot"]
+
+    def test_normalization(self, mini_suite_report):
+        row = mini_suite_report.rows[0]
+        speedup = row.speedup("dbds")
+        manual = (row.baseline.cycles / row.configs["dbds"].cycles - 1) * 100
+        assert speedup == pytest.approx(manual)
+
+    def test_geomeans_computable(self, mini_suite_report):
+        for config in ("dbds", "dupalot"):
+            # Values exist and are finite.
+            assert isinstance(mini_suite_report.geomean_speedup(config), float)
+            assert isinstance(mini_suite_report.geomean_compile_time(config), float)
+            assert isinstance(mini_suite_report.geomean_code_size(config), float)
+
+    def test_dbds_never_slower_on_this_suite(self, mini_suite_report):
+        assert mini_suite_report.geomean_speedup("dbds") > -1.0
+
+    def test_format_contains_all_rows(self, mini_suite_report):
+        text = format_suite_report(mini_suite_report)
+        for row in mini_suite_report.rows:
+            assert row.workload in text
+        assert "Geometric mean" in text
+        assert "dbds" in text and "dupalot" in text

@@ -1,0 +1,83 @@
+"""Tests for graph-level cost estimation."""
+
+import pytest
+
+from repro.costmodel.estimator import (
+    GraphCostSummary,
+    block_cycles,
+    block_size,
+    estimated_run_time,
+    graph_code_size,
+)
+from repro.frontend.irbuilder import compile_source
+from repro.ir.frequency import BlockFrequencies
+from tests.helpers import build_diamond
+
+
+class TestBlockCosts:
+    def test_block_cycles_sums_instructions(self, diamond):
+        merge = diamond["merge"]
+        # Phi(0) + Add(1) + Return(2)
+        assert block_cycles(merge) == pytest.approx(3.0)
+
+    def test_block_size(self, diamond):
+        merge = diamond["merge"]
+        # Phi(0) + Add(1) + Return(1)
+        assert block_size(merge) == pytest.approx(2.0)
+
+    def test_entry_block_includes_terminator(self, diamond):
+        entry = diamond["graph"].entry
+        # Compare(1) + If(1)
+        assert block_cycles(entry) == pytest.approx(2.0)
+
+
+class TestGraphCosts:
+    def test_code_size_is_sum_of_blocks(self, diamond):
+        g = diamond["graph"]
+        assert graph_code_size(g) == pytest.approx(
+            sum(block_size(b) for b in g.blocks)
+        )
+
+    def test_estimated_run_time_weights_by_frequency(self):
+        parts = build_diamond(true_prob=0.9)
+        g = parts["graph"]
+        freqs = BlockFrequencies(g)
+        estimate = estimated_run_time(g, freqs)
+        by_hand = sum(
+            block_cycles(b) * freqs.frequency[b] for b in g.blocks
+        )
+        assert estimate == pytest.approx(by_hand)
+
+    def test_loops_dominate_estimate(self):
+        program = compile_source(
+            """
+fn hot(n: int) -> int {
+  var s: int = 0; var i: int = 0;
+  while (i < n) { s = s + i * 3; i = i + 1; }
+  return s;
+}
+fn cold(n: int) -> int { return n * 3 + 1; }
+"""
+        )
+        hot = estimated_run_time(program.function("hot"))
+        cold = estimated_run_time(program.function("cold"))
+        assert hot > cold * 3
+
+    def test_summary_dataclass(self, diamond):
+        summary = GraphCostSummary.of(diamond["graph"])
+        assert summary.code_size == graph_code_size(diamond["graph"])
+        assert summary.estimated_cycles == pytest.approx(
+            estimated_run_time(diamond["graph"])
+        )
+
+    def test_optimization_reduces_estimate(self):
+        from repro.opts.canonicalize import CanonicalizerPhase
+
+        program = compile_source(
+            "fn f(x: int) -> int { return x * 8 / 4 + (2 * 3); }"
+        )
+        g = program.function("f")
+        before = estimated_run_time(g)
+        CanonicalizerPhase().run(g)
+        after = estimated_run_time(g)
+        assert after < before

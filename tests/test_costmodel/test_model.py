@@ -1,0 +1,156 @@
+"""Tests for the node cost model, anchored to the paper's figures."""
+
+import pytest
+
+from repro.costmodel.model import (
+    NodeCost,
+    cost_of,
+    cycles_of,
+    node_cost,
+    register_arith_cost,
+    size_of,
+)
+from repro.ir import (
+    ArithOp,
+    BinOp,
+    CmpOp,
+    Compare,
+    Constant,
+    Goto,
+    Graph,
+    If,
+    INT,
+    Instruction,
+    New,
+    ObjectType,
+    Phi,
+    Return,
+    StoreGlobal,
+)
+from repro.ir.stamps import ANY_INT
+
+
+@pytest.fixture
+def graph():
+    return Graph("f", [("x", INT)], INT)
+
+
+class TestPaperAnchors:
+    def test_figure3_division_vs_shift(self, graph):
+        """Figure 3: Div costs 32 cycles, the shift 1 → CS = 31."""
+        x = graph.parameters[0]
+        div = ArithOp(BinOp.DIV, x, graph.const_int(2))
+        shift = ArithOp(BinOp.SHR, x, graph.const_int(1))
+        assert cycles_of(div) == 32
+        assert cycles_of(shift) == 1
+        assert cycles_of(div) - cycles_of(shift) == 31
+
+    def test_figure4_node_costs(self, graph):
+        """Figure 4's annotations: Mul 2 cycles, Store 10, Return 2."""
+        x = graph.parameters[0]
+        assert cycles_of(ArithOp(BinOp.MUL, x, graph.const_int(3))) == 2
+        assert cycles_of(StoreGlobal("s", x)) == 10
+        assert cycles_of(Return(x)) == 2
+        assert cycles_of(graph.const_int(3)) == 0
+        assert cycles_of(graph.parameters[0]) == 0
+
+    def test_listing7_allocation(self):
+        """Listing 7: AbstractNewObjectNode is CYCLES_8 / SIZE_8."""
+        alloc = New(ObjectType("A"))
+        assert cycles_of(alloc) == 8
+        assert size_of(alloc) == 8
+
+    def test_figure4_example_computation(self, graph):
+        """The complete Figure 4 computation: 14 cycles before
+        duplication, 12.2 after (0.9/0.1 split, Mul folded on the hot
+        path)."""
+        x = graph.parameters[0]
+        mul = ArithOp(BinOp.MUL, x, graph.const_int(3))
+        store = StoreGlobal("s", mul)
+        ret = Return(mul)
+        merge_cost = cycles_of(store) + cycles_of(mul) + cycles_of(ret)
+        before = (0.1 + 0.9) * merge_cost
+        assert before == pytest.approx(14.0)
+        # After duplication the 90% path folds Mul(3, phi) to Const 9.
+        hot = cycles_of(store) + cycles_of(ret)
+        cold = merge_cost
+        after = 0.1 * cold + 0.9 * hot
+        assert after == pytest.approx(12.2)
+
+
+class TestRegistry:
+    def test_all_ir_nodes_have_costs(self, graph):
+        from repro.ir import (
+            ArrayLength,
+            ArrayLoad,
+            ArrayStore,
+            Call,
+            LoadField,
+            LoadGlobal,
+            Neg,
+            NewArray,
+            Not,
+            StoreField,
+        )
+
+        x = graph.parameters[0]
+        alloc = New(ObjectType("A"))
+        samples = [
+            ArithOp(BinOp.ADD, x, x),
+            Compare(CmpOp.LT, x, x),
+            Not(Compare(CmpOp.LT, x, x)),
+            Neg(x),
+            alloc,
+            LoadField(alloc, "f", INT),
+            StoreField(alloc, "f", x),
+            LoadGlobal("g", INT),
+            StoreGlobal("g", x),
+            NewArray(INT, x),
+            ArrayLoad(alloc, x, INT),
+            ArrayStore(alloc, x, x),
+            ArrayLength(alloc),
+            Call("f", [x], INT),
+            graph.const_int(1),
+            Phi(graph.entry, INT, []),
+            Goto(graph.entry),
+            If(Compare(CmpOp.LT, x, x), graph.entry, graph.new_block()),
+            Return(None),
+        ]
+        for node in samples:
+            cost = cost_of(node)
+            assert cost.cycles >= 0 and cost.size >= 0
+
+    def test_arith_costs_per_operator(self, graph):
+        x = graph.parameters[0]
+        assert cycles_of(ArithOp(BinOp.ADD, x, x)) == 1
+        assert cycles_of(ArithOp(BinOp.MOD, x, x)) == 32
+        assert cycles_of(ArithOp(BinOp.SHL, x, x)) == 1
+
+    def test_unregistered_class_raises(self):
+        class Strange:
+            pass
+
+        with pytest.raises(KeyError):
+            cost_of(Strange())
+
+    def test_decorator_registers_subclass(self, graph):
+        @node_cost(cycles=99, size=7)
+        class FancyNode(Instruction):
+            def __init__(self):
+                super().__init__([], ANY_INT)
+
+        node = FancyNode()
+        assert cycles_of(node) == 99
+        assert size_of(node) == 7
+
+    def test_mro_fallback(self, graph):
+        # A subclass without its own registration inherits its parent's.
+        class SpecialReturn(Return):
+            pass
+
+        assert cycles_of(SpecialReturn(None)) == cycles_of(Return(None))
+
+    def test_node_cost_immutable(self):
+        cost = NodeCost(1, 2)
+        with pytest.raises(Exception):
+            cost.cycles = 5

@@ -1,0 +1,170 @@
+"""Edge cases of the duplication transformation not covered elsewhere:
+void merges, call-bearing merges, deep merge chains, and interaction
+with profile probabilities."""
+
+import pytest
+
+from repro.dbds.duplicate import can_duplicate, duplicate_into
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter, observable_outcome
+from repro.ir import Call, Goto, If, Return, verify_graph
+
+
+def first_duplicable(graph):
+    from repro.ir.loops import LoopForest
+
+    forest = LoopForest(graph)
+    for merge in graph.merge_blocks():
+        for pred in merge.predecessors:
+            if can_duplicate(graph, pred, merge, forest):
+                return pred, merge
+    return None, None
+
+
+def observe(program, entry, arg_sets):
+    outs = []
+    for args in arg_sets:
+        interp = Interpreter(program)
+        outs.append(observable_outcome(interp.run(entry, args), interp.state))
+    return outs
+
+
+class TestVoidMerges:
+    SRC = """
+global log: int;
+fn f(x: int) {
+  if (x > 0) { log = log + 1; } else { log = log + 100; }
+  log = log * 2;
+}
+"""
+
+    def test_void_function_merge_duplicates(self):
+        program = compile_source(self.SRC)
+        graph = program.function("f")
+        expected = observe(program, "f", [[1], [-1], [0]])
+        pred, merge = first_duplicable(graph)
+        assert merge is not None
+        duplicate_into(graph, pred, merge)
+        verify_graph(graph)
+        assert observe(program, "f", [[1], [-1], [0]]) == expected
+
+
+class TestCallBearingMerges:
+    SRC = """
+global calls: int;
+fn side(v: int) -> int { calls = calls + 1; return v * 2; }
+fn f(x: int) -> int {
+  var p: int;
+  if (x > 0) { p = x; } else { p = 7; }
+  return side(p) + side(x);
+}
+"""
+
+    def test_calls_copied_exactly_once_per_path(self):
+        program = compile_source(self.SRC)
+        graph = program.function("f")
+        expected = observe(program, "f", [[3], [-3]])
+        pred, merge = first_duplicable(graph)
+        duplicate_into(graph, pred, merge)
+        verify_graph(graph)
+        # Side-effect counts must be identical: each path still performs
+        # exactly two calls.
+        assert observe(program, "f", [[3], [-3]]) == expected
+
+    def test_call_instruction_duplicated_structurally(self):
+        program = compile_source(self.SRC)
+        graph = program.function("f")
+        before = sum(
+            1 for b in graph.blocks for i in b.instructions if isinstance(i, Call)
+        )
+        pred, merge = first_duplicable(graph)
+        duplicate_into(graph, pred, merge)
+        after = sum(
+            1 for b in graph.blocks for i in b.instructions if isinstance(i, Call)
+        )
+        assert after == before + 2  # both calls copied into the pred
+
+
+class TestProbabilityBookkeeping:
+    def test_duplicated_if_keeps_probability(self):
+        program = compile_source(
+            """
+fn f(x: int, y: int) -> int {
+  var p: int;
+  if (x > 0) { p = x; } else { p = 1; }
+  if (y > 10) { return p; }
+  return p + y;
+}
+"""
+        )
+        graph = program.function("f")
+        # Stamp a recognizable probability on the second branch.
+        merge = next(b for b in graph.blocks if b.is_merge())
+        assert isinstance(merge.terminator, If)
+        merge.terminator.true_probability = 0.875
+        pred, m = first_duplicable(graph)
+        duplicate_into(graph, pred, m)
+        verify_graph(graph)
+        copied = [
+            b.terminator
+            for b in graph.blocks
+            if isinstance(b.terminator, If)
+            and abs(b.terminator.true_probability - 0.875) < 1e-9
+        ]
+        assert len(copied) == 2  # original + the duplicated copy
+
+
+class TestChainedDuplications:
+    def test_exhaustive_duplication_terminates(self):
+        """Repeatedly duplicating every available pair must reach a
+        fixpoint (non-merge CFG) on an acyclic function."""
+        program = compile_source(
+            """
+fn f(a: int, b: int) -> int {
+  var p: int;
+  if (a > 0) { p = a; } else { p = 1; }
+  var q: int;
+  if (b > 0) { q = b; } else { q = p; }
+  var r: int;
+  if (a > b) { r = p + q; } else { r = p - q; }
+  return r * 2;
+}
+"""
+        )
+        graph = program.function("f")
+        expected = observe(program, "f", [[1, 2], [-1, 5], [3, -4], [0, 0]])
+        for _ in range(100):
+            pred, merge = first_duplicable(graph)
+            if merge is None:
+                break
+            duplicate_into(graph, pred, merge)
+            verify_graph(graph)
+        else:
+            pytest.fail("duplication did not reach a fixpoint")
+        assert not any(
+            can_duplicate(graph, p, m)
+            for m in graph.merge_blocks()
+            for p in m.predecessors
+        )
+        assert observe(program, "f", [[1, 2], [-1, 5], [3, -4], [0, 0]]) == expected
+
+
+class TestReturnNoneMerges:
+    def test_merge_ending_in_bare_return(self):
+        program = compile_source(
+            """
+global g: int;
+fn f(x: int) {
+  if (x > 0) { g = x; } else { g = 0 - x; }
+  g = g + 1;
+  return;
+}
+"""
+        )
+        graph = program.function("f")
+        expected = observe(program, "f", [[5], [-5]])
+        pred, merge = first_duplicable(graph)
+        assert isinstance(merge.terminator, Return)
+        duplicate_into(graph, pred, merge)
+        verify_graph(graph)
+        assert observe(program, "f", [[5], [-5]]) == expected

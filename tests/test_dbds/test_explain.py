@@ -1,0 +1,116 @@
+"""Tests for the candidate-explanation reports."""
+
+import pytest
+
+from repro.dbds.explain import (
+    CandidateExplanation,
+    explain_candidates,
+    explain_graph,
+)
+from repro.dbds.simulation import SimulationResult
+from repro.dbds.tradeoff import TradeOffConfig
+from repro.frontend.irbuilder import compile_source
+from tests.helpers import build_diamond
+
+SOURCE = """
+fn f(x: int) -> int {
+  var p: int;
+  if (x > 0) { p = x; } else { p = 0; }
+  return 2 + p;
+}
+"""
+
+
+class TestExplainCandidates:
+    def test_every_pair_explained(self):
+        program = compile_source(SOURCE)
+        graph = program.function("f")
+        explanations = explain_candidates(graph, program)
+        assert len(explanations) == 2
+
+    def test_beneficial_candidate_accepted(self):
+        program = compile_source(SOURCE)
+        graph = program.function("f")
+        explanations = explain_candidates(graph, program)
+        accepted = [e for e in explanations if e.accepted]
+        assert len(accepted) == 1
+        assert "constant-fold" in accepted[0].candidate.reasons
+
+    def test_simulation_left_graph_untouched(self):
+        program = compile_source(SOURCE)
+        graph = program.function("f")
+        before = graph.describe()
+        explain_candidates(graph, program)
+        assert graph.describe() == before
+
+    def test_threshold_term_reflects_config(self):
+        program = compile_source(SOURCE)
+        graph = program.function("f")
+        strict = TradeOffConfig(benefit_scale=0.1)
+        explanations = explain_candidates(graph, program, strict)
+        assert all(not e.threshold_term for e in explanations)
+
+    def test_unit_size_term(self):
+        program = compile_source(SOURCE)
+        graph = program.function("f")
+        tiny = TradeOffConfig(max_unit_size=1.0)
+        explanations = explain_candidates(graph, program, tiny)
+        assert all(not e.unit_size_term for e in explanations)
+        assert all("max size" in e.verdict() for e in explanations)
+
+    def test_sorted_by_weighted_benefit(self):
+        program = compile_source(SOURCE)
+        graph = program.function("f")
+        explanations = explain_candidates(graph, program)
+        weights = [e.weighted for e in explanations]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestVerdictText:
+    def _explanation(self, **kwargs):
+        candidate = SimulationResult(
+            pred=None, merge=None, benefit=1.0, cost=1.0, probability=1.0
+        )
+        defaults = dict(
+            candidate=candidate,
+            weighted=1.0,
+            threshold_term=True,
+            unit_size_term=True,
+            budget_term=True,
+        )
+        defaults.update(kwargs)
+        return CandidateExplanation(**defaults)
+
+    def test_accept(self):
+        assert self._explanation().verdict() == "DUPLICATE"
+
+    def test_all_reject_reasons_listed(self):
+        text = self._explanation(
+            threshold_term=False, unit_size_term=False, budget_term=False
+        ).verdict()
+        assert "threshold" in text and "max size" in text and "budget" in text
+
+
+class TestFormatting:
+    def test_report_contains_blocks_and_decisions(self):
+        program = compile_source(SOURCE)
+        graph = program.function("f")
+        report = explain_graph(graph, program)
+        assert "DBDS candidate report" in report
+        assert "DUPLICATE" in report
+        assert "skip" in report
+        assert "constant-fold" in report
+
+    def test_empty_report(self):
+        program = compile_source("fn f(x: int) -> int { return x; }")
+        report = explain_graph(program.function("f"), program)
+        assert "no predecessor-merge pairs" in report
+
+    def test_cli_explain(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = tmp_path / "p.mini"
+        path.write_text(SOURCE)
+        assert main(["explain", str(path), "--function", "f"]) == 0
+        out = capsys.readouterr().out
+        assert "DBDS candidate report" in out

@@ -1,0 +1,217 @@
+"""Tests for the DBDS simulation tier, including the paper's Figure 3."""
+
+import pytest
+
+from repro.dbds.simulation import SimulationResult, SimulationTier
+from repro.frontend.irbuilder import compile_source
+from repro.interp.profile import apply_profile, profile_program
+from repro.ir import (
+    ArithOp,
+    BinOp,
+    CmpOp,
+    Compare,
+    Goto,
+    Graph,
+    If,
+    INT,
+    Phi,
+    Return,
+    verify_graph,
+)
+from repro.ir.stamps import INT_MAX, IntStamp
+from tests.helpers import build_diamond
+
+
+def build_figure3(non_negative_x: bool = True):
+    """Program *f* from Figure 3: ``return x / phi(a, 2)``.
+
+    With ``x`` known non-negative the division by 2 strength-reduces to
+    a single shift — the paper's worked example: CS = 32 − 1 = 31.
+    """
+    g = Graph("f", [("a", INT), ("b", INT), ("x", INT)], INT)
+    a, b, x = g.parameters
+    if non_negative_x:
+        x.stamp = IntStamp(0, INT_MAX)
+    bp1, bp2, bm = g.new_block("bp1"), g.new_block("bp2"), g.new_block("bm")
+    cond = g.entry.append(Compare(CmpOp.GT, a, b))
+    g.entry.set_terminator(If(cond, bp1, bp2))
+    bp1.set_terminator(Goto(bm))
+    bp2.set_terminator(Goto(bm))
+    phi = Phi(bm, INT, [a, g.const_int(2)])
+    bm.add_phi(phi)
+    div = bm.append(ArithOp(BinOp.DIV, x, phi))
+    bm.set_terminator(Return(div))
+    verify_graph(g)
+    return g, bp1, bp2, bm
+
+
+class TestFigure3:
+    def test_figure3_cycles_saved(self):
+        """The headline example: simulating the duplication of bm into
+        bp2 discovers the Div→Shift opportunity worth 31 cycles."""
+        g, bp1, bp2, bm = build_figure3()
+        results = SimulationTier(g).run()
+        by_pred = {r.pred: r for r in results}
+        assert by_pred[bp2].benefit == pytest.approx(31.0)
+        assert "strength-reduce-div" in by_pred[bp2].reasons
+
+    def test_other_predecessor_has_no_benefit(self):
+        g, bp1, bp2, bm = build_figure3()
+        results = SimulationTier(g).run()
+        by_pred = {r.pred: r for r in results}
+        assert by_pred[bp1].benefit == pytest.approx(0.0)
+
+    def test_signed_x_still_profits_less(self):
+        g, bp1, bp2, bm = build_figure3(non_negative_x=False)
+        results = SimulationTier(g).run()
+        by_pred = {r.pred: r for r in results}
+        # The signed fix-up sequence costs 4 cycles instead of 1.
+        assert 0 < by_pred[bp2].benefit < 31.0
+
+    def test_simulation_does_not_mutate_ir(self):
+        g, bp1, bp2, bm = build_figure3()
+        before = g.describe()
+        SimulationTier(g).run()
+        assert g.describe() == before
+        verify_graph(g)
+
+    def test_use_lists_unpolluted(self):
+        """Action-step subgraphs register uses while being built; the
+        simulator must release them all."""
+        g, bp1, bp2, bm = build_figure3()
+        x = g.parameters[2]
+        users_before = dict(x.uses)
+        SimulationTier(g).run()
+        assert dict(x.uses) == users_before
+
+
+class TestFigure1:
+    def test_constant_fold_candidate_found(self, diamond):
+        results = SimulationTier(diamond["graph"]).run()
+        by_pred = {r.pred: r for r in results}
+        false_result = by_pred[diamond["false_block"]]
+        # Add(2, phi→0) folds: 1 cycle saved.
+        assert false_result.benefit == pytest.approx(1.0)
+        assert "constant-fold" in false_result.reasons
+        assert by_pred[diamond["true_block"]].benefit == 0.0
+
+    def test_cost_reflects_duplicated_size(self, diamond):
+        results = SimulationTier(diamond["graph"]).run()
+        for r in results:
+            # Copying Add + Return costs size 2 minus any savings.
+            assert 0 <= r.cost <= 2.0
+
+    def test_probability_comes_from_frequencies(self):
+        parts = build_diamond(true_prob=0.9)
+        results = SimulationTier(parts["graph"]).run()
+        by_pred = {r.pred: r for r in results}
+        assert by_pred[parts["true_block"]].probability == pytest.approx(0.9)
+        assert by_pred[parts["false_block"]].probability == pytest.approx(0.1)
+
+
+class TestConditionalEliminationDetection:
+    def test_listing1_ce_benefit(self):
+        program = compile_source(
+            """
+fn f(i: int) -> int {
+  var p: int;
+  if (i > 0) { p = i; } else { p = 13; }
+  if (p > 12) { return 12; }
+  return i;
+}
+"""
+        )
+        graph = program.function("f")
+        tier = SimulationTier(graph, program)
+        results = tier.run()
+        # On the else path p = 13 > 12 is decided: CE fires.
+        ce = [r for r in results if "conditional-elimination" in r.reasons]
+        assert len(ce) == 1
+        assert ce[0].benefit > 0
+
+    def test_dominating_fact_used_in_dst(self):
+        """A condition on the path to the predecessor must decide a
+        compare inside the merge (the 'narrowing' of Section 4.1)."""
+        program = compile_source(
+            """
+fn f(x: int) -> int {
+  var p: int;
+  if (x > 100) { p = x; } else { p = 0; }
+  if (p > 50) { return 1; }
+  return 0;
+}
+"""
+        )
+        graph = program.function("f")
+        results = SimulationTier(graph, program).run()
+        # true pred: p = x with x > 100 known -> p > 50 decided true.
+        # false pred: p = 0 -> decided false. Both are CE hits.
+        ce = [r for r in results if "conditional-elimination" in r.reasons]
+        assert len(ce) == 2
+
+
+class TestReadEliminationDetection:
+    def test_listing5_read_benefit(self):
+        program = compile_source(
+            """
+class A { x: int; }
+global s: int;
+fn f(a: A, i: int) -> int {
+  if (i > 0) { s = a.x; } else { s = 0; }
+  return a.x;
+}
+"""
+        )
+        graph = program.function("f")
+        results = SimulationTier(graph, program).run()
+        by_reason = [r for r in results if "read-elimination" in r.reasons]
+        # Only the true predecessor already read a.x.
+        assert len(by_reason) == 1
+        assert by_reason[0].benefit == pytest.approx(2.0)  # LoadField cycles
+
+
+class TestPeaDetection:
+    def test_listing3_allocation_benefit(self):
+        program = compile_source(
+            """
+class A { x: int; }
+fn f(a: A) -> int {
+  var p: A;
+  if (a == null) { p = new A { x = 0 }; } else { p = a; }
+  return p.x;
+}
+"""
+        )
+        graph = program.function("f")
+        results = SimulationTier(graph, program).run()
+        pea = [r for r in results if "partial-escape-analysis" in r.reasons]
+        assert len(pea) == 1
+        # Saves at least the allocation (8 cycles).
+        assert pea[0].benefit >= 8.0
+
+
+class TestCandidateSpace:
+    def test_loop_headers_skipped(self):
+        program = compile_source(
+            """
+fn f(n: int) -> int {
+  var s: int = 0; var i: int = 0;
+  while (i < n) { s = s + i; i = i + 1; }
+  return s;
+}
+"""
+        )
+        graph = program.function("f")
+        results = SimulationTier(graph, program).run()
+        from repro.ir.loops import LoopForest
+
+        headers = {l.header for l in LoopForest(graph).loops}
+        assert all(r.merge not in headers for r in results)
+
+    def test_all_pairs_simulated(self, diamond):
+        results = SimulationTier(diamond["graph"]).run()
+        assert len(results) == 2
+
+    def test_weighted_benefit(self):
+        r = SimulationResult(None, None, benefit=10.0, cost=1.0, probability=0.25)
+        assert r.weighted_benefit == pytest.approx(2.5)

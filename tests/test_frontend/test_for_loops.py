@@ -1,0 +1,137 @@
+"""Tests for the ``for`` statement (sugar for init + while + step)."""
+
+import pytest
+
+from repro.frontend.irbuilder import compile_source
+from repro.frontend.lexer import CompileError
+from repro.interp.interpreter import Interpreter
+from repro.ir import verify_program
+from tests.helpers import assert_configs_equivalent
+
+
+def run(source: str, entry: str, args):
+    program = compile_source(source)
+    verify_program(program)
+    return Interpreter(program).run(entry, args)
+
+
+class TestBasics:
+    def test_counting_loop(self):
+        src = """
+fn sum(n: int) -> int {
+  var s: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) { s = s + i; }
+  return s;
+}
+"""
+        assert run(src, "sum", [10]).value == 45
+        assert run(src, "sum", [0]).value == 0
+
+    def test_assignment_init(self):
+        src = """
+fn f(n: int) -> int {
+  var k: int = 0;
+  for (k = 1; k < n; k = k * 2) { }
+  return k;
+}
+"""
+        assert run(src, "f", [100]).value == 128
+
+    def test_nested_for(self):
+        src = """
+fn f(n: int) -> int {
+  var t: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) {
+    for (var j: int = 0; j < i; j = j + 1) { t = t + 1; }
+  }
+  return t;
+}
+"""
+        assert run(src, "f", [6]).value == 15
+
+    def test_early_return_skips_step(self):
+        src = """
+fn f(n: int) -> int {
+  for (var i: int = 0; i < n; i = i + 1) {
+    if (i == 5) { return i * 100; }
+  }
+  return 0 - 1;
+}
+"""
+        assert run(src, "f", [10]).value == 500
+        assert run(src, "f", [3]).value == -1
+
+    def test_step_over_field(self):
+        src = """
+class C { v: int; }
+fn f(n: int) -> int {
+  var c: C = new C { v = 0 };
+  var t: int = 0;
+  for (c.v = 0; c.v < n; c.v = c.v + 2) { t = t + c.v; }
+  return t;
+}
+"""
+        assert run(src, "f", [10]).value == 0 + 2 + 4 + 6 + 8
+
+    def test_loop_over_array(self):
+        src = """
+fn f(n: int) -> int {
+  var xs: int[] = new int[n];
+  for (var i: int = 0; i < len(xs); i = i + 1) { xs[i] = i * i; }
+  var s: int = 0;
+  for (var i: int = 0; i < len(xs); i = i + 1) { s = s + xs[i]; }
+  return s;
+}
+"""
+        assert run(src, "f", [5]).value == 30
+
+
+class TestScoping:
+    def test_induction_variable_scoped_to_loop(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            compile_source(
+                "fn f(n: int) -> int { for (var i: int = 0; i < n; i = i + 1) { } return i; }"
+            )
+
+    def test_same_name_in_sequential_loops(self):
+        src = """
+fn f(n: int) -> int {
+  var t: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) { t = t + 1; }
+  for (var i: int = 0; i < n; i = i + 1) { t = t + 10; }
+  return t;
+}
+"""
+        assert run(src, "f", [3]).value == 33
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "fn f() { for (;;) { } }",
+            "fn f(n: int) { for (var i: int = 0; i < n) { } }",
+            "fn f(n: int) { for (var i: int = 0, i < n, i = i + 1) { } }",
+            "fn f(n: int) { for (1 + 2 = 3; true; x = 1) { } }",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(CompileError):
+            compile_source(source)
+
+
+class TestOptimizationInterplay:
+    def test_all_configs_agree_on_for_loops(self):
+        src = """
+fn kernel(x: int) -> int {
+  var p: int;
+  if (x > 3) { p = x; } else { p = 2; }
+  return p * 3;
+}
+fn main(n: int) -> int {
+  var acc: int = 0;
+  for (var i: int = 0; i < n; i = i + 1) { acc = acc + kernel(i); }
+  return acc;
+}
+"""
+        assert_configs_equivalent(src, "main", [[0], [4], [12]])

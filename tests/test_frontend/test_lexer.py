@@ -1,0 +1,106 @@
+"""Tests for the MiniLang tokenizer."""
+
+import pytest
+
+from repro.frontend.lexer import CompileError, Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_integers(self):
+        tokens = tokenize("0 42 1234567890")
+        assert [t.text for t in tokens[:-1]] == ["0", "42", "1234567890"]
+        assert all(t.kind is TokenKind.INT for t in tokens[:-1])
+
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("foo if bar while _x x_1")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[1].kind is TokenKind.KEYWORD
+        assert tokens[2].kind is TokenKind.IDENT
+        assert tokens[3].kind is TokenKind.KEYWORD
+        assert tokens[4].text == "_x"
+        assert tokens[5].text == "x_1"
+
+    def test_all_keywords_recognized(self):
+        for kw in ("class", "global", "fn", "var", "if", "else", "while",
+                   "return", "true", "false", "null", "new", "len", "int",
+                   "bool", "void"):
+            token = tokenize(kw)[0]
+            assert token.kind is TokenKind.KEYWORD, kw
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert texts("a >>> b") == ["a", ">>>", "b"]
+        assert texts("a >> b") == ["a", ">>", "b"]
+        assert texts("a >= b") == ["a", ">=", "b"]
+        assert texts("a > = b") == ["a", ">", "=", "b"]
+        assert texts("a == b") == ["a", "==", "b"]
+        assert texts("a = =b") == ["a", "=", "=", "b"]
+
+    def test_compound_expression(self):
+        assert texts("x<<2|y&&!z") == ["x", "<<", "2", "|", "y", "&&", "!", "z"]
+
+    def test_arrow(self):
+        assert texts("fn f() -> int") == ["fn", "f", "(", ")", "->", "int"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comments_skipped(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_comment_at_eof(self):
+        assert texts("a // no newline") == ["a"]
+
+    def test_whitespace_variants(self):
+        assert texts("a\tb\r\nc") == ["a", "b", "c"]
+
+
+class TestPositions:
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 4
+
+    def test_column_numbers(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].column == 1
+        assert tokens[1].column == 4
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("a $ b")
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ok\n  @")
+        except CompileError as e:
+            assert e.line == 2
+            assert e.column == 3
+        else:
+            pytest.fail("expected CompileError")
+
+
+class TestTokenHelpers:
+    def test_is_punct_and_keyword(self):
+        t = tokenize("if (")
+        assert t[0].is_keyword("if") and not t[0].is_punct("if")
+        assert t[1].is_punct("(") and not t[1].is_keyword("(")
+
+    def test_repr(self):
+        assert "if" in repr(tokenize("if")[0])

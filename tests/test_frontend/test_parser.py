@@ -1,0 +1,208 @@
+"""Tests for the MiniLang parser."""
+
+import pytest
+
+from repro.frontend import ast
+from repro.frontend.lexer import CompileError
+from repro.frontend.parser import parse_module
+from repro.ir.types import BOOL, INT, VOID, ArrayType, ObjectType
+
+
+def parse_expr(text: str) -> ast.Expr:
+    module = parse_module(f"fn f() -> int {{ return {text}; }}")
+    return module.functions[0].body[0].value
+
+
+def parse_stmts(text: str) -> list[ast.Stmt]:
+    module = parse_module(f"fn f() {{ {text} }}")
+    return module.functions[0].body
+
+
+class TestDeclarations:
+    def test_class(self):
+        module = parse_module("class A { x: int; next: A; flag: bool; }")
+        cls = module.classes[0]
+        assert cls.name == "A"
+        assert cls.fields == [
+            ("x", INT), ("next", ObjectType("A")), ("flag", BOOL),
+        ]
+
+    def test_global(self):
+        module = parse_module("global counter: int;")
+        assert module.globals[0].name == "counter"
+        assert module.globals[0].declared_type == INT
+
+    def test_function_signature(self):
+        module = parse_module("fn f(a: int, b: bool) -> int { return a; }")
+        f = module.functions[0]
+        assert f.name == "f"
+        assert f.params == [("a", INT), ("b", BOOL)]
+        assert f.return_type == INT
+
+    def test_void_function(self):
+        module = parse_module("fn f() { }")
+        assert module.functions[0].return_type == VOID
+
+    def test_array_types(self):
+        module = parse_module("fn f(a: int[], b: A[][]) { }")
+        params = module.functions[0].params
+        assert params[0][1] == ArrayType(INT)
+        assert params[1][1] == ArrayType(ArrayType(ObjectType("A")))
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        e = parse_expr("1 << 2 + 3")
+        assert e.op == "<<"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "+"
+
+    def test_comparison_below_bitor(self):
+        e = parse_expr("(1 | 2) == 3")
+        assert e.op == "=="
+
+    def test_logical_lowest(self):
+        module = parse_module("fn f() -> bool { return 1 < 2 && 3 < 4 || true; }")
+        e = module.functions[0].body[0].value
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_left_associativity(self):
+        e = parse_expr("1 - 2 - 3")
+        assert e.op == "-"
+        assert isinstance(e.left, ast.Binary) and e.left.op == "-"
+        assert e.right.value == 3
+
+    def test_unary(self):
+        e = parse_expr("-x")
+        assert isinstance(e, ast.Unary) and e.op == "-"
+        module = parse_module("fn f() -> bool { return !(true); }")
+        assert isinstance(module.functions[0].body[0].value, ast.Unary)
+
+    def test_parentheses(self):
+        e = parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.left.op == "+"
+
+    def test_field_access_chain(self):
+        e = parse_expr("a.b.c")
+        assert isinstance(e, ast.FieldAccess) and e.field == "c"
+        assert isinstance(e.obj, ast.FieldAccess) and e.obj.field == "b"
+
+    def test_index(self):
+        e = parse_expr("a[i + 1]")
+        assert isinstance(e, ast.Index)
+        assert isinstance(e.index, ast.Binary)
+
+    def test_call(self):
+        e = parse_expr("g(1, x, h())")
+        assert isinstance(e, ast.CallExpr)
+        assert e.callee == "g" and len(e.args) == 3
+        assert isinstance(e.args[2], ast.CallExpr)
+
+    def test_new_object(self):
+        e = parse_expr("new A { x = 1, y = 2 }")
+        assert isinstance(e, ast.NewObject)
+        assert e.class_name == "A"
+        assert [n for n, _ in e.initializers] == ["x", "y"]
+
+    def test_new_object_no_initializers(self):
+        e = parse_expr("new A")
+        assert isinstance(e, ast.NewObject) and e.initializers == []
+
+    def test_new_array(self):
+        e = parse_expr("new int[10]")
+        assert isinstance(e, ast.NewArrayExpr)
+        assert e.element_type == INT
+
+    def test_new_object_array(self):
+        e = parse_expr("new A[n]")
+        assert isinstance(e, ast.NewArrayExpr)
+        assert e.element_type == ObjectType("A")
+
+    def test_len(self):
+        e = parse_expr("len(xs)")
+        assert isinstance(e, ast.LenExpr)
+
+    def test_literals(self):
+        assert parse_expr("42").value == 42
+        assert parse_expr("true").value is True
+        assert parse_expr("false").value is False
+        assert isinstance(parse_expr("null"), ast.NullLiteral)
+
+
+class TestStatements:
+    def test_var_decl(self):
+        stmts = parse_stmts("var x: int = 5;")
+        assert isinstance(stmts[0], ast.VarDecl)
+        assert stmts[0].init.value == 5
+
+    def test_var_decl_no_init(self):
+        stmts = parse_stmts("var x: A;")
+        assert stmts[0].init is None
+
+    def test_assignment_targets(self):
+        stmts = parse_stmts("x = 1; a.f = 2; xs[0] = 3;")
+        assert isinstance(stmts[0].target, ast.VarRef)
+        assert isinstance(stmts[1].target, ast.FieldAccess)
+        assert isinstance(stmts[2].target, ast.Index)
+
+    def test_if_else(self):
+        stmts = parse_stmts("if (x > 0) { y = 1; } else { y = 2; }")
+        node = stmts[0]
+        assert isinstance(node, ast.IfStmt)
+        assert len(node.then_body) == 1 and len(node.else_body) == 1
+
+    def test_else_if_chain(self):
+        stmts = parse_stmts(
+            "if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }"
+        )
+        outer = stmts[0]
+        assert isinstance(outer.else_body[0], ast.IfStmt)
+
+    def test_while(self):
+        stmts = parse_stmts("while (i < 10) { i = i + 1; }")
+        assert isinstance(stmts[0], ast.WhileStmt)
+
+    def test_return_forms(self):
+        module = parse_module("fn f() { return; }")
+        assert module.functions[0].body[0].value is None
+        module = parse_module("fn g() -> int { return 1; }")
+        assert module.functions[0].body[0].value.value == 1
+
+    def test_expression_statement(self):
+        stmts = parse_stmts("g();")
+        assert isinstance(stmts[0], ast.ExprStmt)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "fn f( { }",
+            "fn f() -> { }",
+            "class A { x int; }",
+            "fn f() { var x = 1; }",  # missing type annotation
+            "fn f() { 1 + ; }",
+            "fn f() { if x { } }",  # missing parens
+            "fn f() { return 1 }",  # missing semicolon
+            "global g;",
+            "stray",
+            "fn f() { (1 + 2 = 3); }",  # invalid assign target
+        ],
+    )
+    def test_syntax_errors(self, source):
+        with pytest.raises(CompileError):
+            parse_module(source)
+
+    def test_error_position_reported(self):
+        try:
+            parse_module("fn f() {\n  var : int;\n}")
+        except CompileError as e:
+            assert e.line == 2
+        else:
+            pytest.fail("expected CompileError")

@@ -1,0 +1,191 @@
+"""Language semantics: MiniLang programs against Python reference
+implementations (wrapping arithmetic handled explicitly)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter
+from repro.ir.ops import wrap64
+
+i64 = st.integers(min_value=-(2**62), max_value=2**62)
+
+
+def run(source, entry, args):
+    program = compile_source(source)
+    return Interpreter(program).run(entry, args)
+
+
+class TestAgainstReference:
+    GCD = """
+fn gcd(a: int, b: int) -> int {
+  while (b != 0) {
+    var t: int = b;
+    b = a % b;
+    a = t;
+  }
+  return a;
+}
+"""
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=10**6))
+    def test_gcd(self, a, b):
+        import math
+
+        assert run(self.GCD, "gcd", [a, b]).value == math.gcd(a, b)
+
+    FIB = """
+fn fib(n: int) -> int {
+  var a: int = 0;
+  var b: int = 1;
+  var i: int = 0;
+  while (i < n) {
+    var t: int = a + b;
+    a = b;
+    b = t;
+    i = i + 1;
+  }
+  return a;
+}
+"""
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_fib(self, n):
+        def fib(k):
+            a, b = 0, 1
+            for _ in range(k):
+                a, b = b, a + b
+            return a
+
+        assert run(self.FIB, "fib", [n]).value == fib(n)
+
+    COLLATZ = """
+fn steps(n: int) -> int {
+  var count: int = 0;
+  while (n != 1) {
+    if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+    count = count + 1;
+  }
+  return count;
+}
+"""
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_collatz(self, n):
+        def steps(k):
+            c = 0
+            while k != 1:
+                k = k // 2 if k % 2 == 0 else 3 * k + 1
+                c += 1
+            return c
+
+        assert run(self.COLLATZ, "steps", [n]).value == steps(n)
+
+    SORT = """
+fn sort3(a: int, b: int, c: int) -> int {
+  // returns the median
+  if (a > b) { var t: int = a; a = b; b = t; }
+  if (b > c) { var t: int = b; b = c; c = t; }
+  if (a > b) { var t: int = a; a = b; b = t; }
+  return b;
+}
+"""
+
+    @given(i64, i64, i64)
+    def test_median(self, a, b, c):
+        assert run(self.SORT, "sort3", [a, b, c]).value == sorted([a, b, c])[1]
+
+    HASH = """
+fn mix(x: int) -> int {
+  x = x ^ (x >>> 33);
+  x = x * 127;
+  x = x ^ (x << 7);
+  return x & 1048575;
+}
+"""
+
+    @given(i64)
+    def test_bit_mixing_wraps_like_java(self, x):
+        def mix(v):
+            v = wrap64(v ^ ((v & (2**64 - 1)) >> 33))
+            v = wrap64(v * 127)
+            v = wrap64(v ^ wrap64(v << 7))
+            return v & 1048575
+
+        assert run(self.HASH, "mix", [x]).value == mix(x)
+
+
+class TestObjectSemantics:
+    LINKED_LIST = """
+class Node { value: int; next: Node; }
+
+fn build(n: int) -> Node {
+  var head: Node = null;
+  var i: int = 0;
+  while (i < n) {
+    head = new Node { value = i, next = head };
+    i = i + 1;
+  }
+  return head;
+}
+
+fn total(head: Node) -> int {
+  var sum: int = 0;
+  while (head != null) {
+    sum = sum + head.value;
+    head = head.next;
+  }
+  return sum;
+}
+
+fn main(n: int) -> int { return total(build(n)); }
+"""
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_linked_list_sum(self, n):
+        assert run(self.LINKED_LIST, "main", [n]).value == n * (n - 1) // 2
+
+    SWAP = """
+class Pair { a: int; b: int; }
+fn swap(p: Pair) { var t: int = p.a; p.a = p.b; p.b = t; }
+fn main(x: int, y: int) -> int {
+  var p: Pair = new Pair { a = x, b = y };
+  swap(p);
+  swap(p);
+  swap(p);
+  return p.a * 1000 + p.b;
+}
+"""
+
+    def test_mutation_through_calls(self):
+        assert run(self.SWAP, "main", [1, 2]).value == 2001
+
+
+class TestArraySemantics:
+    REVERSE = """
+fn rev_sum(n: int) -> int {
+  var xs: int[] = new int[n];
+  var i: int = 0;
+  while (i < n) { xs[i] = i * i; i = i + 1; }
+  // reverse in place
+  var lo: int = 0;
+  var hi: int = n - 1;
+  while (lo < hi) {
+    var t: int = xs[lo];
+    xs[lo] = xs[hi];
+    xs[hi] = t;
+    lo = lo + 1;
+    hi = hi - 1;
+  }
+  var weighted: int = 0;
+  i = 0;
+  while (i < n) { weighted = weighted + xs[i] * (i + 1); i = i + 1; }
+  return weighted;
+}
+"""
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_reverse_weighted_sum(self, n):
+        xs = [i * i for i in range(n)][::-1]
+        expected = sum(v * (i + 1) for i, v in enumerate(xs))
+        assert run(self.REVERSE, "rev_sum", [n]).value == expected

@@ -1,0 +1,162 @@
+"""Tests for dominator computation, queries and frontiers.
+
+Includes a hypothesis property comparing the fast algorithm against a
+brute-force dominance definition on random structured CFGs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import CmpOp, Compare, Goto, Graph, If, INT, Return
+from repro.ir.dominators import DominatorTree
+
+
+def linear_graph(n: int) -> Graph:
+    g = Graph("lin", [("x", INT)], INT)
+    blocks = [g.entry] + [g.new_block() for _ in range(n)]
+    for a, b in zip(blocks, blocks[1:]):
+        a.set_terminator(Goto(b))
+    blocks[-1].set_terminator(Return(g.const_int(0)))
+    return g
+
+
+def random_structured_graph(seed: int, depth: int = 3) -> Graph:
+    """Random nest of diamonds and straight-line blocks (reducible)."""
+    rng = random.Random(seed)
+    g = Graph("rand", [("x", INT)], INT)
+    x = g.parameters[0]
+
+    def build(block, remaining):
+        """Build a region starting at `block`; return its exit block."""
+        if remaining == 0 or rng.random() < 0.3:
+            return block
+        if rng.random() < 0.5:
+            nxt = g.new_block()
+            block.set_terminator(Goto(nxt))
+            return build(nxt, remaining - 1)
+        t, f, m = g.new_block(), g.new_block(), g.new_block()
+        cond = block.append(Compare(CmpOp.GT, x, g.const_int(rng.randint(0, 9))))
+        block.set_terminator(If(cond, t, f))
+        t_exit = build(t, remaining - 1)
+        f_exit = build(f, remaining - 1)
+        t_exit.set_terminator(Goto(m))
+        f_exit.set_terminator(Goto(m))
+        return build(m, remaining - 1)
+
+    exit_block = build(g.entry, depth)
+    exit_block.set_terminator(Return(x))
+    return g
+
+
+def brute_force_dominates(graph: Graph, a, b) -> bool:
+    """a dominates b iff removing a makes b unreachable from entry."""
+    if a is b:
+        return True
+    seen = set()
+    stack = [graph.entry]
+    while stack:
+        block = stack.pop()
+        if block is a or block in seen:
+            continue
+        seen.add(block)
+        stack.extend(block.successors)
+    return b not in seen
+
+
+class TestDiamond:
+    def test_idoms(self, diamond):
+        dom = DominatorTree(diamond["graph"])
+        entry = diamond["graph"].entry
+        assert dom.immediate_dominator(diamond["true_block"]) is entry
+        assert dom.immediate_dominator(diamond["false_block"]) is entry
+        assert dom.immediate_dominator(diamond["merge"]) is entry
+        assert dom.immediate_dominator(entry) is entry
+
+    def test_dominates_queries(self, diamond):
+        dom = DominatorTree(diamond["graph"])
+        entry = diamond["graph"].entry
+        assert dom.dominates(entry, diamond["merge"])
+        assert dom.dominates(entry, entry)
+        assert not dom.dominates(diamond["true_block"], diamond["merge"])
+        assert not dom.strictly_dominates(entry, entry)
+        assert dom.strictly_dominates(entry, diamond["merge"])
+
+    def test_children(self, diamond):
+        dom = DominatorTree(diamond["graph"])
+        kids = set(dom.dominator_tree_children(diamond["graph"].entry))
+        assert kids == {
+            diamond["true_block"],
+            diamond["false_block"],
+            diamond["merge"],
+        }
+
+    def test_walk_up(self, diamond):
+        dom = DominatorTree(diamond["graph"])
+        chain = list(dom.walk_up(diamond["merge"]))
+        assert chain == [diamond["merge"], diamond["graph"].entry]
+
+    def test_depth_first_preorder(self, diamond):
+        dom = DominatorTree(diamond["graph"])
+        order = list(dom.depth_first())
+        assert order[0] is diamond["graph"].entry
+        assert set(order) == set(diamond["graph"].blocks)
+
+    def test_frontiers(self, diamond):
+        dom = DominatorTree(diamond["graph"])
+        df = dom.dominance_frontiers()
+        assert df[diamond["true_block"]] == {diamond["merge"]}
+        assert df[diamond["false_block"]] == {diamond["merge"]}
+        assert df[diamond["graph"].entry] == set()
+
+    def test_iterated_frontier(self, diamond):
+        dom = DominatorTree(diamond["graph"])
+        idf = dom.iterated_dominance_frontier(
+            {diamond["true_block"], diamond["false_block"]}
+        )
+        assert idf == {diamond["merge"]}
+
+
+class TestLinear:
+    def test_chain_idoms(self):
+        g = linear_graph(5)
+        dom = DominatorTree(g)
+        order = dom.rpo
+        for prev, cur in zip(order, order[1:]):
+            assert dom.immediate_dominator(cur) is prev
+
+    def test_all_frontiers_empty(self):
+        dom = DominatorTree(linear_graph(4))
+        assert all(not f for f in dom.dominance_frontiers().values())
+
+
+class TestLoops:
+    def test_loop_header_dominates_body(self):
+        g = Graph("loop", [("n", INT)], INT)
+        header, body, exit_ = g.new_block("h"), g.new_block("b"), g.new_block("e")
+        g.entry.set_terminator(Goto(header))
+        cond = header.append(Compare(CmpOp.LT, g.const_int(0), g.parameters[0]))
+        header.set_terminator(If(cond, body, exit_))
+        body.set_terminator(Goto(header))
+        exit_.set_terminator(Return(g.const_int(0)))
+        dom = DominatorTree(g)
+        assert dom.dominates(header, body)
+        assert dom.dominates(header, exit_)
+        assert not dom.dominates(body, header)
+        # header's frontier includes itself (the back edge).
+        assert header in dom.dominance_frontiers()[body]
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_brute_force(self, seed):
+        g = random_structured_graph(seed, depth=4)
+        dom = DominatorTree(g)
+        blocks = dom.rpo
+        for a in blocks:
+            for b in blocks:
+                assert dom.dominates(a, b) == brute_force_dominates(g, a, b), (
+                    f"disagree on {a.name} dom {b.name} (seed {seed})"
+                )

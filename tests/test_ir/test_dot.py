@@ -1,0 +1,61 @@
+"""Tests for the graphviz exporter."""
+
+import pytest
+
+from repro.frontend.irbuilder import compile_source
+from repro.ir.dot import graph_to_dot, program_to_dot
+
+
+@pytest.fixture
+def program():
+    return compile_source(
+        """
+fn f(x: int) -> int {
+  if (x > 0) { return 1; }
+  return 2;
+}
+fn g() -> int { return f(3); }
+"""
+    )
+
+
+class TestGraphToDot:
+    def test_valid_digraph_structure(self, program):
+        dot = graph_to_dot(program.function("f"))
+        assert dot.startswith('digraph "f" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_every_block_is_a_node(self, program):
+        graph = program.function("f")
+        dot = graph_to_dot(graph)
+        for block in graph.blocks:
+            assert f"b{block.id} [" in dot
+
+    def test_branch_edges_labeled_with_probability(self, program):
+        dot = graph_to_dot(program.function("f"))
+        assert 'label="T 0.50"' in dot
+        assert 'label="F 0.50"' in dot
+
+    def test_instructions_included_by_default(self, program):
+        dot = graph_to_dot(program.function("f"))
+        assert "CmpGT" in dot
+        assert "Return" in dot
+
+    def test_instructions_can_be_suppressed(self, program):
+        dot = graph_to_dot(program.function("f"), include_instructions=False)
+        assert "CmpGT" not in dot
+
+    def test_html_escaping(self):
+        from repro.ir.dot import _escape
+
+        assert _escape("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+        assert _escape('say "hi"') == "say &quot;hi&quot;"
+
+
+class TestProgramToDot:
+    def test_clusters_per_function(self, program):
+        dot = program_to_dot(program)
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_1" in dot
+        assert 'label="f"' in dot
+        assert 'label="g"' in dot

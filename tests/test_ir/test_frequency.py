@@ -1,0 +1,93 @@
+"""Tests for profile-driven block frequency estimation."""
+
+import pytest
+
+from repro.frontend.irbuilder import compile_source
+from repro.ir.frequency import BlockFrequencies
+from repro.ir.loops import LoopForest
+from tests.helpers import build_diamond
+
+
+class TestDiamondFrequencies:
+    def test_even_split(self):
+        parts = build_diamond(true_prob=0.5)
+        freqs = BlockFrequencies(parts["graph"])
+        assert freqs.frequency[parts["graph"].entry] == pytest.approx(1.0)
+        assert freqs.frequency[parts["true_block"]] == pytest.approx(0.5)
+        assert freqs.frequency[parts["false_block"]] == pytest.approx(0.5)
+        assert freqs.frequency[parts["merge"]] == pytest.approx(1.0)
+
+    def test_skewed_split(self):
+        parts = build_diamond(true_prob=0.9)
+        freqs = BlockFrequencies(parts["graph"])
+        assert freqs.frequency[parts["true_block"]] == pytest.approx(0.9)
+        assert freqs.frequency[parts["false_block"]] == pytest.approx(0.1)
+        assert freqs.frequency[parts["merge"]] == pytest.approx(1.0)
+
+    def test_relative_normalizes_to_hottest(self):
+        parts = build_diamond(true_prob=0.9)
+        freqs = BlockFrequencies(parts["graph"])
+        assert freqs.relative(parts["graph"].entry) == pytest.approx(1.0)
+        assert freqs.relative(parts["true_block"]) == pytest.approx(0.9)
+
+
+class TestLoopFrequencies:
+    SOURCE = """
+fn loop(n: int) -> int {
+  var total: int = 0;
+  var i: int = 0;
+  while (i < n) {
+    total = total + i;
+    i = i + 1;
+  }
+  return total;
+}
+"""
+
+    def test_body_scaled_by_trip_count(self):
+        program = compile_source(self.SOURCE)
+        graph = program.function("loop")
+        forest = LoopForest(graph)
+        loop = forest.loops[0]
+        freqs = BlockFrequencies(graph, forest)
+        # Header runs trip_count times per entry.
+        assert freqs.frequency[loop.header] == pytest.approx(loop.trip_count)
+
+    def test_profiled_trips_respected(self):
+        program = compile_source(self.SOURCE)
+        graph = program.function("loop")
+        forest = LoopForest(graph)
+        forest.loops[0].header.profile_trip_count = 100.0
+        forest = LoopForest(graph)  # rebuild to pick up the annotation
+        freqs = BlockFrequencies(graph, forest)
+        assert freqs.frequency[forest.loops[0].header] == pytest.approx(100.0)
+
+    def test_nested_loops_multiply(self):
+        source = """
+fn nested(n: int) -> int {
+  var t: int = 0;
+  var i: int = 0;
+  while (i < n) {
+    var j: int = 0;
+    while (j < n) { t = t + 1; j = j + 1; }
+    i = i + 1;
+  }
+  return t;
+}
+"""
+        program = compile_source(source)
+        graph = program.function("nested")
+        forest = LoopForest(graph)
+        freqs = BlockFrequencies(graph, forest)
+        inner = next(l for l in forest.loops if l.parent is not None)
+        outer = inner.parent
+        # Inner header executes ~trip(outer) * trip(inner) * P(enter).
+        assert freqs.frequency[inner.header] > freqs.frequency[outer.header]
+
+    def test_hottest_block_is_loop_body(self):
+        program = compile_source(self.SOURCE)
+        graph = program.function("loop")
+        freqs = BlockFrequencies(graph)
+        hottest = max(freqs.frequency, key=freqs.frequency.get)
+        forest = LoopForest(graph)
+        assert forest.innermost_loop(hottest) is not None

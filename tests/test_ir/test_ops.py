@@ -1,0 +1,136 @@
+"""Tests for operator semantics: Java-like 64-bit arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.ops import (
+    BinOp,
+    CmpOp,
+    EvaluationTrap,
+    eval_binop,
+    eval_cmp,
+    wrap64,
+)
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+i64 = st.integers(min_value=INT64_MIN, max_value=INT64_MAX)
+nonzero_i64 = i64.filter(lambda v: v != 0)
+
+
+class TestWrap64:
+    def test_in_range_unchanged(self):
+        assert wrap64(0) == 0
+        assert wrap64(INT64_MAX) == INT64_MAX
+        assert wrap64(INT64_MIN) == INT64_MIN
+
+    def test_overflow_wraps(self):
+        assert wrap64(INT64_MAX + 1) == INT64_MIN
+        assert wrap64(INT64_MIN - 1) == INT64_MAX
+        assert wrap64(2**64) == 0
+
+    @given(i64)
+    def test_idempotent(self, v):
+        assert wrap64(wrap64(v)) == wrap64(v)
+
+    @given(st.integers())
+    def test_always_in_range(self, v):
+        assert INT64_MIN <= wrap64(v) <= INT64_MAX
+
+
+class TestArithmetic:
+    @given(i64, i64)
+    def test_add_matches_wrapping(self, a, b):
+        assert eval_binop(BinOp.ADD, a, b) == wrap64(a + b)
+
+    @given(i64, i64)
+    def test_sub_mul(self, a, b):
+        assert eval_binop(BinOp.SUB, a, b) == wrap64(a - b)
+        assert eval_binop(BinOp.MUL, a, b) == wrap64(a * b)
+
+    def test_div_truncates_toward_zero(self):
+        assert eval_binop(BinOp.DIV, 7, 2) == 3
+        assert eval_binop(BinOp.DIV, -7, 2) == -3
+        assert eval_binop(BinOp.DIV, 7, -2) == -3
+        assert eval_binop(BinOp.DIV, -7, -2) == 3
+
+    def test_mod_sign_follows_dividend(self):
+        assert eval_binop(BinOp.MOD, 7, 3) == 1
+        assert eval_binop(BinOp.MOD, -7, 3) == -1
+        assert eval_binop(BinOp.MOD, 7, -3) == 1
+        assert eval_binop(BinOp.MOD, -7, -3) == -1
+
+    @given(i64, nonzero_i64)
+    def test_div_mod_identity(self, a, b):
+        q = eval_binop(BinOp.DIV, a, b)
+        r = eval_binop(BinOp.MOD, a, b)
+        assert wrap64(q * b + r) == a
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(EvaluationTrap):
+            eval_binop(BinOp.DIV, 1, 0)
+        with pytest.raises(EvaluationTrap):
+            eval_binop(BinOp.MOD, 1, 0)
+
+    def test_div_overflow_wraps(self):
+        # INT64_MIN / -1 overflows in two's complement.
+        assert eval_binop(BinOp.DIV, INT64_MIN, -1) == INT64_MIN
+
+    def test_bitwise(self):
+        assert eval_binop(BinOp.AND, 0b1100, 0b1010) == 0b1000
+        assert eval_binop(BinOp.OR, 0b1100, 0b1010) == 0b1110
+        assert eval_binop(BinOp.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shifts_mask_count(self):
+        # Java masks shift counts to 6 bits for longs.
+        assert eval_binop(BinOp.SHL, 1, 64) == 1
+        assert eval_binop(BinOp.SHL, 1, 65) == 2
+        assert eval_binop(BinOp.SHR, -8, 1) == -4
+        assert eval_binop(BinOp.USHR, -1, 1) == INT64_MAX
+
+    @given(i64, st.integers(min_value=0, max_value=63))
+    def test_shr_matches_floor_division_by_power(self, a, k):
+        assert eval_binop(BinOp.SHR, a, k) == a >> k
+
+    def test_commutativity_flags(self):
+        assert BinOp.ADD.commutative and BinOp.MUL.commutative
+        assert BinOp.XOR.commutative and BinOp.AND.commutative
+        assert not BinOp.SUB.commutative and not BinOp.SHL.commutative
+
+    def test_trap_flags(self):
+        assert BinOp.DIV.can_trap and BinOp.MOD.can_trap
+        assert not BinOp.ADD.can_trap
+
+
+class TestComparisons:
+    @given(i64, i64)
+    def test_int_comparisons(self, a, b):
+        assert eval_cmp(CmpOp.EQ, a, b) == (a == b)
+        assert eval_cmp(CmpOp.NE, a, b) == (a != b)
+        assert eval_cmp(CmpOp.LT, a, b) == (a < b)
+        assert eval_cmp(CmpOp.LE, a, b) == (a <= b)
+        assert eval_cmp(CmpOp.GT, a, b) == (a > b)
+        assert eval_cmp(CmpOp.GE, a, b) == (a >= b)
+
+    def test_reference_identity(self):
+        class Obj:
+            pass
+
+        a, b = Obj(), Obj()
+        assert eval_cmp(CmpOp.EQ, a, a)
+        assert not eval_cmp(CmpOp.EQ, a, b)
+        assert eval_cmp(CmpOp.NE, a, b)
+
+    def test_null_comparisons(self):
+        assert eval_cmp(CmpOp.EQ, None, None)
+        class Obj:
+            pass
+        assert not eval_cmp(CmpOp.EQ, Obj(), None)
+
+    @given(st.sampled_from(list(CmpOp)), i64, i64)
+    def test_negate_is_logical_not(self, op, a, b):
+        assert eval_cmp(op.negate(), a, b) == (not eval_cmp(op, a, b))
+
+    @given(st.sampled_from(list(CmpOp)), i64, i64)
+    def test_swap_exchanges_operands(self, op, a, b):
+        assert eval_cmp(op.swap(), b, a) == eval_cmp(op, a, b)

@@ -1,0 +1,160 @@
+"""Tests for on-demand SSA reconstruction."""
+
+import pytest
+
+from repro.ir import (
+    ArithOp,
+    BinOp,
+    CmpOp,
+    Compare,
+    Goto,
+    Graph,
+    If,
+    INT,
+    Phi,
+    Return,
+    verify_graph,
+)
+from repro.ir.dominators import DominatorTree
+from repro.ir.ssa_repair import collect_external_uses, repair_value
+
+
+def two_defs_one_use():
+    """entry -> (a | b) -> join; value defined differently in a and b,
+    used in join — the canonical multi-definition repair scenario."""
+    g = Graph("f", [("x", INT)], INT)
+    x = g.parameters[0]
+    a, b, join = g.new_block("a"), g.new_block("b"), g.new_block("join")
+    cond = g.entry.append(Compare(CmpOp.GT, x, g.const_int(0)))
+    g.entry.set_terminator(If(cond, a, b))
+    def_a = a.append(ArithOp(BinOp.ADD, x, g.const_int(1)))
+    a.set_terminator(Goto(join))
+    def_b = b.append(ArithOp(BinOp.MUL, x, g.const_int(2)))
+    b.set_terminator(Goto(join))
+    user = join.append(ArithOp(BinOp.ADD, def_a, g.const_int(10)))
+    join.set_terminator(Return(user))
+    return g, a, b, join, def_a, def_b, user
+
+
+class TestRepairValue:
+    def test_phi_inserted_at_join(self):
+        g, a, b, join, def_a, def_b, user = two_defs_one_use()
+        dom = DominatorTree(g)
+        uses = [(user, 0)]
+        phis = repair_value(g, dom, {a: def_a, b: def_b}, uses, INT)
+        assert len(phis) == 1
+        phi = phis[0]
+        assert phi.block is join
+        assert set(phi.inputs) == {def_a, def_b}
+        assert user.inputs[0] is phi
+        verify_graph(g)
+
+    def test_phi_input_order_matches_predecessors(self):
+        g, a, b, join, def_a, def_b, user = two_defs_one_use()
+        dom = DominatorTree(g)
+        (phi,) = repair_value(g, dom, {a: def_a, b: def_b}, [(user, 0)], INT)
+        for pred, value in zip(join.predecessors, phi.inputs):
+            assert (pred, value) in ((a, def_a), (b, def_b))
+
+    def test_use_dominated_by_single_def_needs_no_phi(self):
+        g = Graph("f", [("x", INT)], INT)
+        x = g.parameters[0]
+        b = g.new_block()
+        g.entry.set_terminator(Goto(b))
+        definition = g.entry.append(ArithOp(BinOp.ADD, x, g.const_int(1)))
+        user = b.append(ArithOp(BinOp.MUL, x, x))
+        b.set_terminator(Return(user))
+        dom = DominatorTree(g)
+        phis = repair_value(g, dom, {g.entry: definition}, [(user, 0)], INT)
+        assert phis == []
+        assert user.inputs[0] is definition
+        verify_graph(g)
+
+    def test_unused_inserted_phis_pruned(self):
+        g, a, b, join, def_a, def_b, user = two_defs_one_use()
+        dom = DominatorTree(g)
+        # No uses to rewrite: nothing should survive.
+        phis = repair_value(g, dom, {a: def_a, b: def_b}, [], INT)
+        assert phis == []
+        assert join.phis == []
+
+    def test_phi_use_attributed_to_pred_edge(self):
+        g, a, b, join, def_a, def_b, user = two_defs_one_use()
+        # Add an existing phi in join using def_a along the a edge only.
+        existing = Phi(join, INT, [def_a, g.const_int(0)])
+        join.add_phi(existing)
+        dom = DominatorTree(g)
+        # Repair the phi use (slot 0 = the `a` edge) and the direct use.
+        repair_value(
+            g, dom, {a: def_a, b: def_b}, [(existing, 0), (user, 0)], INT
+        )
+        # Reaching def at end of a is def_a itself: the phi input is
+        # unchanged, no new phi needed for it.
+        assert existing.inputs[0] is def_a
+        verify_graph(g)
+
+
+class TestCollectExternalUses:
+    def test_excludes_internal_uses(self):
+        g = Graph("f", [("x", INT)], INT)
+        x = g.parameters[0]
+        b = g.new_block()
+        g.entry.set_terminator(Goto(b))
+        definition = g.entry.append(ArithOp(BinOp.ADD, x, g.const_int(1)))
+        internal = g.entry.append(ArithOp(BinOp.MUL, definition, definition))
+        external = b.append(ArithOp(BinOp.ADD, definition, g.const_int(2)))
+        b.set_terminator(Return(external))
+        uses = collect_external_uses(definition, within=g.entry)
+        assert (external, 0) in uses
+        assert all(user is not internal for user, _ in uses)
+
+    def test_phi_use_block_is_predecessor(self):
+        g, a, b, join, def_a, def_b, user = two_defs_one_use()
+        phi = Phi(join, INT, [def_a, def_b])
+        join.add_phi(phi)
+        # The phi input from block `a` is consumed *in* block a.
+        uses = collect_external_uses(def_a, within=a)
+        assert (phi, 0) not in uses
+        uses_elsewhere = collect_external_uses(def_a, within=g.entry)
+        assert (phi, 0) in uses_elsewhere
+
+    def test_terminator_uses_counted(self):
+        g = Graph("f", [("x", INT)], INT)
+        b = g.new_block()
+        g.entry.set_terminator(Goto(b))
+        definition = g.entry.append(ArithOp(BinOp.ADD, g.parameters[0], g.const_int(1)))
+        b.set_terminator(Return(definition))
+        uses = collect_external_uses(definition, within=g.entry)
+        assert uses == [(b.terminator, 0)]
+
+
+class TestLoopRepair:
+    def test_def_in_loop_used_after(self):
+        """A value redefined in a loop body used after the loop needs a
+        phi at the header."""
+        g = Graph("f", [("n", INT)], INT)
+        n = g.parameters[0]
+        header, body, exit_ = g.new_block("h"), g.new_block("b"), g.new_block("e")
+        g.entry.set_terminator(Goto(header))
+        iv = Phi(header, INT, [g.const_int(0)])
+        header.add_phi(iv)
+        cond = header.append(Compare(CmpOp.LT, iv, n))
+        header.set_terminator(If(cond, body, exit_))
+        inc = body.append(ArithOp(BinOp.ADD, iv, g.const_int(1)))
+        body.set_terminator(Goto(header))
+        iv._append_input(inc)
+        pre_def = g.entry.append(ArithOp(BinOp.MUL, n, g.const_int(3)))
+        user = exit_.append(ArithOp(BinOp.ADD, pre_def, g.const_int(5)))
+        exit_.set_terminator(Return(user))
+        verify_graph(g)
+
+        # Now claim the value is also redefined in the body.
+        dom = DominatorTree(g)
+        phis = repair_value(
+            g, dom, {g.entry: pre_def, body: inc}, [(user, 0)], INT
+        )
+        # A phi at the loop header merges the entry and back-edge defs.
+        assert len(phis) == 1
+        assert phis[0].block is header
+        assert user.inputs[0] is phis[0]
+        verify_graph(g)

@@ -1,0 +1,149 @@
+"""Tests for the stamp lattice, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.stamps import (
+    ANY_BOOL,
+    ANY_INT,
+    BoolStamp,
+    FALSE_STAMP,
+    INT_MAX,
+    INT_MIN,
+    IntStamp,
+    ObjectStamp,
+    TRUE_STAMP,
+    VOID_STAMP,
+    join,
+    meet,
+    stamp_for_constant,
+    stamp_for_type,
+)
+from repro.ir.types import BOOL, INT, ArrayType, NullType, ObjectType, VOID
+
+ints = st.integers(min_value=INT_MIN, max_value=INT_MAX)
+
+
+@st.composite
+def int_stamps(draw):
+    a = draw(ints)
+    b = draw(ints)
+    return IntStamp(min(a, b), max(a, b))
+
+
+class TestIntStamp:
+    def test_constant_detection(self):
+        assert IntStamp(5, 5).as_constant() == (5,)
+        assert IntStamp(4, 5).as_constant() is None
+
+    def test_empty(self):
+        assert IntStamp(1, 0).is_empty()
+        assert not ANY_INT.is_empty()
+
+    def test_contains(self):
+        s = IntStamp(-2, 7)
+        assert s.contains(-2) and s.contains(7) and s.contains(0)
+        assert not s.contains(8)
+
+    @given(int_stamps(), int_stamps())
+    def test_meet_is_upper_bound(self, a, b):
+        m = a.meet(b)
+        assert m.lo <= a.lo and m.hi >= a.hi
+        assert m.lo <= b.lo and m.hi >= b.hi
+
+    @given(int_stamps(), int_stamps())
+    def test_join_is_intersection(self, a, b):
+        j = a.join(b)
+        if not j.is_empty():
+            assert j.lo >= a.lo and j.hi <= a.hi
+            assert j.lo >= b.lo and j.hi <= b.hi
+
+    @given(int_stamps())
+    def test_meet_join_idempotent(self, a):
+        assert a.meet(a) == a
+        assert a.join(a) == a
+
+    @given(int_stamps(), int_stamps())
+    def test_meet_commutative(self, a, b):
+        assert a.meet(b) == b.meet(a)
+        assert a.join(b) == b.join(a)
+
+    @given(int_stamps(), int_stamps(), ints)
+    def test_meet_soundness(self, a, b, v):
+        # Any value in either input stamp is in the meet.
+        if a.contains(v) or b.contains(v):
+            assert a.meet(b).contains(v)
+
+    @given(int_stamps(), int_stamps(), ints)
+    def test_join_soundness(self, a, b, v):
+        # Any value in both inputs is in the join.
+        if a.contains(v) and b.contains(v):
+            assert a.join(b).contains(v)
+
+    def test_repr(self):
+        assert repr(IntStamp(3, 3)) == "i64[3]"
+        assert repr(ANY_INT) == "i64"
+        assert "empty" in repr(IntStamp(2, 1))
+
+
+class TestBoolStamp:
+    def test_constants(self):
+        assert TRUE_STAMP.as_constant() == (True,)
+        assert FALSE_STAMP.as_constant() == (False,)
+        assert ANY_BOOL.as_constant() is None
+
+    def test_join(self):
+        assert TRUE_STAMP.join(ANY_BOOL) == TRUE_STAMP
+        assert TRUE_STAMP.join(FALSE_STAMP).is_empty()
+
+    def test_meet(self):
+        assert TRUE_STAMP.meet(FALSE_STAMP) == ANY_BOOL
+        assert TRUE_STAMP.meet(TRUE_STAMP) == TRUE_STAMP
+
+
+class TestObjectStamp:
+    def test_nullness(self):
+        ty = ObjectType("A")
+        assert ObjectStamp(ty, always_null=True).as_constant() == (None,)
+        assert ObjectStamp(ty, non_null=True).as_constant() is None
+        assert ObjectStamp(ty, non_null=True, always_null=True).is_empty()
+
+    def test_join_accumulates_facts(self):
+        ty = ObjectType("A")
+        s = ObjectStamp(ty).join(ObjectStamp(ty, non_null=True))
+        assert s.non_null
+
+    def test_meet_loses_facts(self):
+        ty = ObjectType("A")
+        s = ObjectStamp(ty, non_null=True).meet(ObjectStamp(ty, always_null=True))
+        assert not s.non_null and not s.always_null
+
+
+class TestConstructors:
+    def test_stamp_for_type(self):
+        assert stamp_for_type(INT) == ANY_INT
+        assert stamp_for_type(BOOL) == ANY_BOOL
+        assert stamp_for_type(VOID) == VOID_STAMP
+        s = stamp_for_type(ObjectType("A"))
+        assert isinstance(s, ObjectStamp) and not s.non_null
+        null_stamp = stamp_for_type(NullType())
+        assert null_stamp.always_null
+        arr = stamp_for_type(ArrayType(INT))
+        assert isinstance(arr, ObjectStamp)
+
+    def test_stamp_for_constant(self):
+        assert stamp_for_constant(7, INT) == IntStamp(7, 7)
+        assert stamp_for_constant(True, BOOL) == TRUE_STAMP
+        assert stamp_for_constant(None, ObjectType("A")).always_null
+
+    def test_mismatched_kinds_raise(self):
+        with pytest.raises(TypeError):
+            meet(ANY_INT, ANY_BOOL)
+        with pytest.raises(TypeError):
+            join(ANY_INT, TRUE_STAMP)
+
+    def test_module_level_meet_join_dispatch(self):
+        assert meet(IntStamp(0, 1), IntStamp(5, 6)) == IntStamp(0, 6)
+        assert join(IntStamp(0, 10), IntStamp(5, 20)) == IntStamp(5, 10)
+        assert meet(VOID_STAMP, VOID_STAMP) == VOID_STAMP
+        assert join(TRUE_STAMP, ANY_BOOL) == TRUE_STAMP

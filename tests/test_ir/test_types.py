@@ -1,0 +1,106 @@
+"""Tests for the MiniLang type system."""
+
+import pytest
+
+from repro.ir.types import (
+    BOOL,
+    INT,
+    NULL,
+    VOID,
+    ArrayType,
+    ClassDecl,
+    ClassTable,
+    FieldDecl,
+    NullType,
+    ObjectType,
+    assignable,
+    join,
+)
+
+
+class TestBasicTypes:
+    def test_primitives(self):
+        assert INT.is_primitive()
+        assert BOOL.is_primitive()
+        assert not VOID.is_primitive()
+        assert not INT.is_reference()
+
+    def test_reference_types(self):
+        assert ObjectType("A").is_reference()
+        assert ArrayType(INT).is_reference()
+        assert NULL.is_reference()
+
+    def test_defaults(self):
+        assert INT.default_value() == 0
+        assert BOOL.default_value() is False
+        assert ObjectType("A").default_value() is None
+        assert ArrayType(BOOL).default_value() is None
+
+    def test_equality_is_structural(self):
+        assert ObjectType("A") == ObjectType("A")
+        assert ObjectType("A") != ObjectType("B")
+        assert ArrayType(INT) == ArrayType(INT)
+        assert ArrayType(INT) != ArrayType(BOOL)
+        assert ArrayType(ArrayType(INT)) == ArrayType(ArrayType(INT))
+
+    def test_repr(self):
+        assert repr(INT) == "int"
+        assert repr(ArrayType(INT)) == "int[]"
+        assert repr(ObjectType("Point")) == "Point"
+
+
+class TestAssignability:
+    def test_same_type(self):
+        assert assignable(INT, INT)
+        assert assignable(ObjectType("A"), ObjectType("A"))
+
+    def test_mismatch(self):
+        assert not assignable(INT, BOOL)
+        assert not assignable(ObjectType("A"), ObjectType("B"))
+        assert not assignable(INT, NullType())
+
+    def test_null_into_references(self):
+        assert assignable(ObjectType("A"), NullType())
+        assert assignable(ArrayType(INT), NullType())
+        assert not assignable(NullType(), ObjectType("A"))
+
+
+class TestJoin:
+    def test_identical(self):
+        assert join(INT, INT) == INT
+
+    def test_null_with_reference(self):
+        assert join(NullType(), ObjectType("A")) == ObjectType("A")
+        assert join(ObjectType("A"), NullType()) == ObjectType("A")
+
+    def test_incompatible_raises(self):
+        with pytest.raises(TypeError):
+            join(INT, BOOL)
+        with pytest.raises(TypeError):
+            join(ObjectType("A"), ObjectType("B"))
+
+
+class TestClassTable:
+    def test_declare_and_lookup(self):
+        table = ClassTable()
+        decl = ClassDecl("A", [FieldDecl("x", INT), FieldDecl("next", ObjectType("A"))])
+        ty = table.declare(decl)
+        assert ty == ObjectType("A")
+        assert table.lookup("A") is decl
+        assert "A" in table
+        assert table.names() == ["A"]
+
+    def test_duplicate_class_rejected(self):
+        table = ClassTable()
+        table.declare(ClassDecl("A"))
+        with pytest.raises(ValueError):
+            table.declare(ClassDecl("A"))
+
+    def test_field_queries(self):
+        decl = ClassDecl("P", [FieldDecl("a", INT), FieldDecl("b", BOOL)])
+        assert decl.field_type("a") == INT
+        assert decl.field_type("b") == BOOL
+        assert decl.has_field("a")
+        assert not decl.has_field("c")
+        with pytest.raises(KeyError):
+            decl.field_type("c")

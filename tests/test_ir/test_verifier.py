@@ -1,0 +1,126 @@
+"""Tests that the verifier catches each class of broken invariant."""
+
+import pytest
+
+from repro.ir import (
+    ArithOp,
+    BinOp,
+    CmpOp,
+    Compare,
+    Goto,
+    Graph,
+    If,
+    INT,
+    Phi,
+    Return,
+    VerificationError,
+    verify_graph,
+)
+from tests.helpers import build_diamond
+
+
+class TestValidGraphs:
+    def test_diamond_passes(self, diamond):
+        verify_graph(diamond["graph"])
+
+    def test_empty_function(self):
+        g = Graph("f", [], INT)
+        g.entry.set_terminator(Return(g.const_int(0)))
+        verify_graph(g)
+
+
+class TestStructuralViolations:
+    def test_missing_terminator(self):
+        g = Graph("f", [], INT)
+        with pytest.raises(VerificationError, match="no terminator"):
+            verify_graph(g)
+
+    def test_if_identical_targets(self):
+        g = Graph("f", [("x", INT)], INT)
+        t = g.new_block()
+        cond = g.entry.append(Compare(CmpOp.GT, g.parameters[0], g.const_int(0)))
+        branch = If(cond, t, t)
+        g.entry.terminator = branch
+        branch.block = g.entry
+        t.add_predecessor(g.entry)
+        t.add_predecessor(g.entry)
+        t.set_terminator(Return(None))
+        with pytest.raises(VerificationError, match="identical targets"):
+            verify_graph(g)
+
+    def test_bad_probability(self, diamond):
+        diamond["graph"].entry.terminator.true_probability = 1.5
+        with pytest.raises(VerificationError, match="probability"):
+            verify_graph(diamond["graph"])
+
+    def test_phi_input_count_mismatch(self, diamond):
+        diamond["phi"]._append_input(diamond["graph"].const_int(5))
+        with pytest.raises(VerificationError, match="inputs"):
+            verify_graph(diamond["graph"])
+
+    def test_critical_edge_detected(self):
+        g = Graph("f", [("x", INT)], INT)
+        other, merge = g.new_block(), g.new_block()
+        cond = g.entry.append(Compare(CmpOp.GT, g.parameters[0], g.const_int(0)))
+        g.entry.set_terminator(If(cond, merge, other))
+        other.set_terminator(Goto(merge))
+        merge.set_terminator(Return(g.const_int(0)))
+        with pytest.raises(VerificationError, match="critical edge"):
+            verify_graph(g)
+
+    def test_wrong_block_link(self, diamond):
+        g = diamond["graph"]
+        add = diamond["add"]
+        add.block = diamond["true_block"]
+        with pytest.raises(VerificationError, match="block link"):
+            verify_graph(g)
+
+
+class TestSsaViolations:
+    def test_use_not_dominated(self):
+        g = Graph("f", [("x", INT)], INT)
+        x = g.parameters[0]
+        a, b, join = g.new_block(), g.new_block(), g.new_block()
+        cond = g.entry.append(Compare(CmpOp.GT, x, g.const_int(0)))
+        g.entry.set_terminator(If(cond, a, b))
+        definition = a.append(ArithOp(BinOp.ADD, x, g.const_int(1)))
+        a.set_terminator(Goto(join))
+        b.set_terminator(Goto(join))
+        user = join.append(ArithOp(BinOp.MUL, definition, definition))
+        join.set_terminator(Return(user))
+        with pytest.raises(VerificationError, match="dominate"):
+            verify_graph(g)
+
+    def test_use_before_def_in_block(self):
+        g = Graph("f", [("x", INT)], INT)
+        x = g.parameters[0]
+        late = ArithOp(BinOp.ADD, x, g.const_int(1))
+        early = ArithOp(BinOp.MUL, late, late)
+        g.entry.append(early)
+        g.entry.append(late)
+        g.entry.set_terminator(Return(early))
+        with pytest.raises(VerificationError, match="before its definition"):
+            verify_graph(g)
+
+    def test_entry_with_predecessors(self):
+        g = Graph("f", [], INT)
+        g.entry.set_terminator(Return(g.const_int(0)))
+        g.entry.add_predecessor(g.entry)
+        with pytest.raises(VerificationError, match="entry"):
+            verify_graph(g)
+
+    def test_phi_input_from_pred_is_legal(self):
+        # A phi input defined inside the predecessor block is consumed
+        # at the end of that block: this must verify.
+        g = Graph("f", [("n", INT)], INT)
+        header, body, exit_ = g.new_block(), g.new_block(), g.new_block()
+        g.entry.set_terminator(Goto(header))
+        phi = Phi(header, INT, [g.const_int(0)])
+        header.add_phi(phi)
+        cond = header.append(Compare(CmpOp.LT, phi, g.parameters[0]))
+        header.set_terminator(If(cond, body, exit_))
+        inc = body.append(ArithOp(BinOp.ADD, phi, g.const_int(1)))
+        body.set_terminator(Goto(header))
+        phi._append_input(inc)
+        exit_.set_terminator(Return(phi))
+        verify_graph(g)

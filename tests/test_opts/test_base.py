@@ -1,0 +1,85 @@
+"""Tests for the AC/action-step framework primitives."""
+
+import pytest
+
+from repro.ir import ArithOp, BinOp, Graph, INT, StoreGlobal
+from repro.opts.base import OptimizationContext, Rewrite
+
+
+@pytest.fixture
+def graph():
+    return Graph("f", [("x", INT)], INT)
+
+
+class TestRewrite:
+    def test_remove_constructor(self):
+        r = Rewrite.remove("dead-store")
+        assert r.replacement is None
+        assert r.new_instructions == []
+        assert r.reason == "dead-store"
+
+    def test_redundant_constructor(self, graph):
+        x = graph.parameters[0]
+        r = Rewrite.redundant(x, "gvn")
+        assert r.replacement is x
+        assert not r.new_instructions
+
+    def test_with_new_replacement_is_last(self, graph):
+        x = graph.parameters[0]
+        a = ArithOp(BinOp.SHR, x, graph.const_int(1))
+        b = ArithOp(BinOp.ADD, a, graph.const_int(1))
+        r = Rewrite.with_new([a, b], "strength")
+        assert r.replacement is b
+        assert r.new_instructions == [a, b]
+
+    def test_cycles_delta(self, graph):
+        x = graph.parameters[0]
+        div = ArithOp(BinOp.DIV, x, graph.const_int(2))
+        shift = ArithOp(BinOp.SHR, x, graph.const_int(1))
+        r = Rewrite.with_new([shift], "strength")
+        assert r.cycles_delta(div) == pytest.approx(31.0)  # Figure 3
+
+    def test_size_delta_for_elimination(self, graph):
+        x = graph.parameters[0]
+        add = ArithOp(BinOp.ADD, x, graph.const_int(0))
+        r = Rewrite.redundant(x, "identity")
+        assert r.size_delta(add) == pytest.approx(1.0)
+
+    def test_negative_delta_possible(self, graph):
+        # A rewrite may add more size than it removes (signed div).
+        x = graph.parameters[0]
+        div = ArithOp(BinOp.DIV, x, graph.const_int(4))
+        seq = [
+            ArithOp(BinOp.SHR, x, graph.const_int(63)),
+            ArithOp(BinOp.USHR, x, graph.const_int(62)),
+            ArithOp(BinOp.ADD, x, x),
+            ArithOp(BinOp.SHR, x, graph.const_int(2)),
+        ]
+        r = Rewrite.with_new(seq, "signed-div")
+        assert r.size_delta(div) < 0
+        assert r.cycles_delta(div) > 0
+
+
+class TestOptimizationContext:
+    def test_identity_resolution(self, graph):
+        ctx = OptimizationContext(graph)
+        x = graph.parameters[0]
+        assert ctx.resolve(x) is x
+        assert ctx.stamp(x) == x.stamp
+
+    def test_constant_value_of_constant(self, graph):
+        ctx = OptimizationContext(graph)
+        assert ctx.constant_value(graph.const_int(9)) == (9,)
+        assert ctx.constant_value(graph.const_bool(False)) == (False,)
+
+    def test_constant_value_of_unknown(self, graph):
+        ctx = OptimizationContext(graph)
+        assert ctx.constant_value(graph.parameters[0]) is None
+
+    def test_constant_value_via_stamp(self, graph):
+        from repro.ir.stamps import IntStamp
+
+        x = graph.parameters[0]
+        x.stamp = IntStamp(7, 7)
+        ctx = OptimizationContext(graph)
+        assert ctx.constant_value(x) == (7,)

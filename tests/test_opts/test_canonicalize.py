@@ -1,0 +1,282 @@
+"""Tests for canonicalization ACs and the destructive phase."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter
+from repro.ir import (
+    ArithOp,
+    ArrayLength,
+    BinOp,
+    CmpOp,
+    Compare,
+    Constant,
+    Goto,
+    Graph,
+    If,
+    INT,
+    Neg,
+    NewArray,
+    Not,
+    Return,
+    verify_graph,
+)
+from repro.ir.stamps import IntStamp
+from repro.opts.base import OptimizationContext, Rewrite
+from repro.opts.canonicalize import (
+    CanonicalizerPhase,
+    canonicalize_instruction,
+    fold_constant_branches,
+    remove_dead_instructions,
+)
+
+
+@pytest.fixture
+def graph():
+    return Graph("f", [("x", INT), ("y", INT)], INT)
+
+
+def canon(graph, ins):
+    return canonicalize_instruction(ins, OptimizationContext(graph))
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (BinOp.ADD, 2, 3, 5),
+            (BinOp.SUB, 2, 3, -1),
+            (BinOp.MUL, 4, 5, 20),
+            (BinOp.DIV, 7, 2, 3),
+            (BinOp.MOD, 7, 3, 1),
+            (BinOp.AND, 12, 10, 8),
+            (BinOp.SHL, 1, 4, 16),
+        ],
+    )
+    def test_arith_folds(self, graph, op, a, b, expected):
+        ins = ArithOp(op, graph.const_int(a), graph.const_int(b))
+        rewrite = canon(graph, ins)
+        assert rewrite is not None
+        assert isinstance(rewrite.replacement, Constant)
+        assert rewrite.replacement.value == expected
+
+    def test_division_by_zero_not_folded(self, graph):
+        ins = ArithOp(BinOp.DIV, graph.const_int(1), graph.const_int(0))
+        assert canon(graph, ins) is None
+
+    def test_compare_folds(self, graph):
+        ins = Compare(CmpOp.LT, graph.const_int(1), graph.const_int(2))
+        rewrite = canon(graph, ins)
+        assert rewrite.replacement.value is True
+
+    def test_not_folds(self, graph):
+        rewrite = canon(graph, Not(graph.const_bool(True)))
+        assert rewrite.replacement.value is False
+
+    def test_neg_folds(self, graph):
+        rewrite = canon(graph, Neg(graph.const_int(5)))
+        assert rewrite.replacement.value == -5
+
+
+class TestAlgebraicIdentities:
+    def test_add_zero(self, graph):
+        x = graph.parameters[0]
+        rewrite = canon(graph, ArithOp(BinOp.ADD, x, graph.const_int(0)))
+        assert rewrite.replacement is x
+
+    def test_add_zero_left_commutes(self, graph):
+        x = graph.parameters[0]
+        rewrite = canon(graph, ArithOp(BinOp.ADD, graph.const_int(0), x))
+        assert rewrite.replacement is x
+
+    def test_mul_one_and_zero(self, graph):
+        x = graph.parameters[0]
+        assert canon(graph, ArithOp(BinOp.MUL, x, graph.const_int(1))).replacement is x
+        zero = canon(graph, ArithOp(BinOp.MUL, x, graph.const_int(0)))
+        assert zero.replacement.value == 0
+
+    def test_sub_self(self, graph):
+        x = graph.parameters[0]
+        rewrite = canon(graph, ArithOp(BinOp.SUB, x, x))
+        assert rewrite.replacement.value == 0
+
+    def test_xor_self(self, graph):
+        x = graph.parameters[0]
+        assert canon(graph, ArithOp(BinOp.XOR, x, x)).replacement.value == 0
+
+    def test_and_or_self(self, graph):
+        x = graph.parameters[0]
+        assert canon(graph, ArithOp(BinOp.AND, x, x)).replacement is x
+        assert canon(graph, ArithOp(BinOp.OR, x, x)).replacement is x
+
+    def test_and_masks(self, graph):
+        x = graph.parameters[0]
+        assert canon(graph, ArithOp(BinOp.AND, x, graph.const_int(0))).replacement.value == 0
+        assert canon(graph, ArithOp(BinOp.AND, x, graph.const_int(-1))).replacement is x
+
+    def test_shift_zero(self, graph):
+        x = graph.parameters[0]
+        assert canon(graph, ArithOp(BinOp.SHL, x, graph.const_int(0))).replacement is x
+
+    def test_no_rewrite_for_plain_op(self, graph):
+        x, y = graph.parameters
+        assert canon(graph, ArithOp(BinOp.ADD, x, y)) is None
+
+
+class TestStrengthReduction:
+    def test_mul_power_of_two_becomes_shift(self, graph):
+        x = graph.parameters[0]
+        rewrite = canon(graph, ArithOp(BinOp.MUL, x, graph.const_int(8)))
+        assert len(rewrite.new_instructions) == 1
+        shift = rewrite.new_instructions[0]
+        assert isinstance(shift, ArithOp) and shift.op is BinOp.SHL
+        assert shift.y.value == 3
+
+    def test_div_power_of_two_nonneg_single_shift(self, graph):
+        length = ArrayLength(NewArray(INT, graph.parameters[0]))
+        rewrite = canon(graph, ArithOp(BinOp.DIV, length, graph.const_int(4)))
+        assert len(rewrite.new_instructions) == 1
+        assert rewrite.new_instructions[0].op is BinOp.SHR
+
+    def test_div_power_of_two_signed_sequence(self, graph):
+        x = graph.parameters[0]  # may be negative
+        rewrite = canon(graph, ArithOp(BinOp.DIV, x, graph.const_int(4)))
+        assert rewrite is not None
+        assert len(rewrite.new_instructions) == 4
+        # still much cheaper than a 32-cycle divide
+        assert rewrite.cycles_delta(ArithOp(BinOp.DIV, x, graph.const_int(4))) > 0
+
+    def test_mod_power_of_two_nonneg(self, graph):
+        length = ArrayLength(NewArray(INT, graph.parameters[0]))
+        rewrite = canon(graph, ArithOp(BinOp.MOD, length, graph.const_int(8)))
+        assert rewrite.new_instructions[0].op is BinOp.AND
+        assert rewrite.new_instructions[0].y.value == 7
+
+    def test_mul_nonpower_not_reduced(self, graph):
+        x = graph.parameters[0]
+        assert canon(graph, ArithOp(BinOp.MUL, x, graph.const_int(6))) is None
+
+    @given(st.integers(min_value=-1000, max_value=1000), st.sampled_from([2, 4, 8, 16]))
+    def test_signed_div_sequence_is_correct(self, value, divisor):
+        """The signed strength-reduction sequence must compute exactly
+        a truncating division for all inputs."""
+        source = f"fn f(x: int) -> int {{ return x / {divisor}; }}"
+        program = compile_source(source)
+        graph = program.function("f")
+        CanonicalizerPhase().run(graph)
+        # No Div instruction survives.
+        ops = [
+            i.op for b in graph.blocks for i in b.instructions
+            if isinstance(i, ArithOp)
+        ]
+        assert BinOp.DIV not in ops
+        result = Interpreter(program).run("f", [value])
+        import math
+        expected = abs(value) // divisor * (1 if value >= 0 else -1)
+        assert result.value == expected
+
+
+class TestCompareCanonicalization:
+    def test_stamp_fold_disjoint_ranges(self, graph):
+        length = ArrayLength(NewArray(INT, graph.parameters[0]))  # >= 0
+        rewrite = canon(graph, Compare(CmpOp.LT, length, graph.const_int(0)))
+        assert rewrite.replacement.value is False
+
+    def test_self_compare(self, graph):
+        x = graph.parameters[0]
+        assert canon(graph, Compare(CmpOp.EQ, x, x)).replacement.value is True
+        assert canon(graph, Compare(CmpOp.LT, x, x)).replacement.value is False
+        assert canon(graph, Compare(CmpOp.GE, x, x)).replacement.value is True
+
+    def test_bool_unwrap(self, graph):
+        cmp = Compare(CmpOp.LT, graph.parameters[0], graph.parameters[1])
+        eq_true = Compare(CmpOp.EQ, cmp, graph.const_bool(True))
+        assert canon(graph, eq_true).replacement is cmp
+        eq_false = Compare(CmpOp.EQ, cmp, graph.const_bool(False))
+        rewrite = canon(graph, eq_false)
+        assert isinstance(rewrite.new_instructions[0], Not)
+
+    def test_not_of_compare_becomes_negated_compare(self, graph):
+        cmp = Compare(CmpOp.LT, graph.parameters[0], graph.parameters[1])
+        rewrite = canon(graph, Not(cmp))
+        negated = rewrite.new_instructions[0]
+        assert isinstance(negated, Compare) and negated.op is CmpOp.GE
+
+    def test_double_not(self, graph):
+        cmp = Compare(CmpOp.LT, graph.parameters[0], graph.parameters[1])
+        inner = Not(cmp)
+        rewrite = canon(graph, Not(inner))
+        assert rewrite.replacement is cmp
+
+
+class TestArrayLengthFold:
+    def test_length_of_new_array(self, graph):
+        length_input = ArrayLength(NewArray(INT, graph.parameters[0]))  # >=0 stamp
+        arr = NewArray(INT, length_input)
+        rewrite = canon(graph, ArrayLength(arr))
+        assert rewrite.replacement is length_input
+
+    def test_unknown_sign_not_folded(self, graph):
+        arr = NewArray(INT, graph.parameters[0])
+        assert canon(graph, ArrayLength(arr)) is None
+
+
+class TestPhaseDriver:
+    def test_phase_runs_to_fixpoint(self):
+        program = compile_source(
+            "fn f(x: int) -> int { return (x * 1 + 0) * 4 / 2 + (3 - 3); }"
+        )
+        graph = program.function("f")
+        CanonicalizerPhase().run(graph)
+        verify_graph(graph)
+        result = Interpreter(program).run("f", [10])
+        assert result.value == 20
+
+    def test_constant_branch_folds_away(self):
+        program = compile_source(
+            "fn f(x: int) -> int { if (1 < 2) { return x; } return 0; }"
+        )
+        graph = program.function("f")
+        CanonicalizerPhase().run(graph)
+        assert len(graph.blocks) == 1
+        assert not any(isinstance(b.terminator, If) for b in graph.blocks)
+
+    def test_dead_code_removed(self):
+        program = compile_source(
+            "fn f(x: int) -> int { var unused: int = x * 99 + 3; return x; }"
+        )
+        graph = program.function("f")
+        CanonicalizerPhase().run(graph)
+        assert graph.instruction_count() == 0
+
+    def test_trap_instructions_not_removed(self):
+        program = compile_source(
+            "fn f(x: int) -> int { var unused: int = 10 / x; return x; }"
+        )
+        graph = program.function("f")
+        CanonicalizerPhase().run(graph)
+        # The division may trap: it must survive even though unused.
+        ops = [
+            i.op for b in graph.blocks for i in b.instructions
+            if isinstance(i, ArithOp)
+        ]
+        assert BinOp.DIV in ops
+        assert Interpreter(program).run("f", [0]).trapped
+
+    def test_semantics_preserved_on_mixed_program(self):
+        source = """
+fn f(x: int) -> int {
+  var a: int = x * 2;
+  var b: int = a + 0;
+  var c: int = b * 1;
+  if (c >= c) { return c - x; }
+  return 0 - 1;
+}
+"""
+        program = compile_source(source)
+        expected = [Interpreter(program).run("f", [k]).value for k in range(-5, 6)]
+        CanonicalizerPhase().run(program.function("f"))
+        verify_graph(program.function("f"))
+        actual = [Interpreter(program).run("f", [k]).value for k in range(-5, 6)]
+        assert actual == expected

@@ -1,0 +1,158 @@
+"""Tests for the extended canonicalizations: reassociation, operand
+normalization and negated-branch simplification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter
+from repro.ir import (
+    ArithOp,
+    BinOp,
+    CmpOp,
+    Compare,
+    Constant,
+    Graph,
+    If,
+    INT,
+    Not,
+    verify_graph,
+)
+from repro.opts.base import OptimizationContext
+from repro.opts.canonicalize import (
+    CanonicalizerPhase,
+    canonicalize_instruction,
+    simplify_negated_branches,
+)
+
+i64 = st.integers(min_value=-(2**62), max_value=2**62)
+
+
+@pytest.fixture
+def graph():
+    return Graph("f", [("x", INT)], INT)
+
+
+def canon(graph, ins):
+    return canonicalize_instruction(ins, OptimizationContext(graph))
+
+
+class TestReassociation:
+    def test_add_chain_folds(self, graph):
+        x = graph.parameters[0]
+        inner = ArithOp(BinOp.ADD, x, graph.const_int(3))
+        outer = ArithOp(BinOp.ADD, inner, graph.const_int(4))
+        rewrite = canon(graph, outer)
+        assert rewrite is not None and rewrite.reason == "reassociate-constants"
+        combined = rewrite.new_instructions[0]
+        assert combined.x is x and combined.y.value == 7
+
+    def test_mul_chain_folds(self, graph):
+        x = graph.parameters[0]
+        inner = ArithOp(BinOp.MUL, x, graph.const_int(6))
+        outer = ArithOp(BinOp.MUL, inner, graph.const_int(7))
+        rewrite = canon(graph, outer)
+        assert rewrite.new_instructions[0].y.value == 42
+
+    def test_mixed_ops_not_reassociated(self, graph):
+        x = graph.parameters[0]
+        inner = ArithOp(BinOp.ADD, x, graph.const_int(3))
+        outer = ArithOp(BinOp.MUL, inner, graph.const_int(4))
+        rewrite = canon(graph, outer)
+        assert rewrite is None or rewrite.reason != "reassociate-constants"
+
+    def test_sub_not_reassociated(self, graph):
+        x = graph.parameters[0]
+        inner = ArithOp(BinOp.SUB, x, graph.const_int(3))
+        outer = ArithOp(BinOp.SUB, inner, graph.const_int(4))
+        assert canon(graph, outer) is None
+
+    @given(i64, st.integers(min_value=-1000, max_value=1000), st.integers(min_value=-1000, max_value=1000))
+    def test_add_reassociation_is_semantics_preserving(self, x, c1, c2):
+        source = f"fn f(x: int) -> int {{ return (x + {c1}) + {c2}; }}"
+        program = compile_source(source)
+        expected = Interpreter(program).run("f", [x]).value
+        CanonicalizerPhase().run(program.function("f"))
+        assert Interpreter(program).run("f", [x]).value == expected
+
+    def test_phase_collapses_long_chain(self):
+        program = compile_source(
+            "fn f(x: int) -> int { return x + 1 + 2 + 3 + 4 + 5; }"
+        )
+        graph = program.function("f")
+        CanonicalizerPhase().run(graph)
+        adds = [
+            i
+            for b in graph.blocks
+            for i in b.instructions
+            if isinstance(i, ArithOp)
+        ]
+        assert len(adds) == 1
+        assert adds[0].y.value == 15
+
+
+class TestOperandNormalization:
+    def test_constant_moves_right(self, graph):
+        x = graph.parameters[0]
+        cmp = Compare(CmpOp.LT, graph.const_int(5), x)
+        rewrite = canon(graph, cmp)
+        normalized = rewrite.new_instructions[0]
+        assert normalized.op is CmpOp.GT
+        assert normalized.x is x
+        assert isinstance(normalized.y, Constant)
+
+    def test_already_normalized_untouched(self, graph):
+        x = graph.parameters[0]
+        cmp = Compare(CmpOp.GT, x, graph.const_int(5))
+        assert canon(graph, cmp) is None
+
+    def test_enables_gvn(self):
+        from repro.opts.gvn import GlobalValueNumberingPhase
+
+        program = compile_source(
+            "fn f(x: int) -> bool { return (5 < x) == (x > 5); }"
+        )
+        graph = program.function("f")
+        CanonicalizerPhase().run(graph)
+        GlobalValueNumberingPhase().run(graph)
+        CanonicalizerPhase().run(graph)
+        # Both compares canonicalize identically; GVN merges them and
+        # `c == c` folds to true.
+        compares = [
+            i for b in graph.blocks for i in b.instructions
+            if isinstance(i, Compare)
+        ]
+        assert len(compares) == 0
+
+
+class TestNegatedBranches:
+    def test_if_of_not_swaps_targets(self, graph):
+        x = graph.parameters[0]
+        cmp = graph.entry.append(Compare(CmpOp.GT, x, graph.const_int(0)))
+        negated = graph.entry.append(Not(cmp))
+        t, f = graph.new_block("t"), graph.new_block("f")
+        from repro.ir import Return
+
+        graph.entry.set_terminator(If(negated, t, f, 0.25))
+        t.set_terminator(Return(graph.const_int(1)))
+        f.set_terminator(Return(graph.const_int(2)))
+        assert simplify_negated_branches(graph) == 1
+        term = graph.entry.terminator
+        assert term.condition is cmp
+        assert term.true_target is f and term.false_target is t
+        assert term.true_probability == pytest.approx(0.75)
+        verify_graph(graph)
+
+    def test_phase_eliminates_negation_entirely(self):
+        program = compile_source(
+            "fn f(x: int) -> int { if (!(x > 0)) { return 1; } return 2; }"
+        )
+        graph = program.function("f")
+        CanonicalizerPhase().run(graph)
+        nots = [
+            i for b in graph.blocks for i in b.instructions
+            if isinstance(i, Not)
+        ]
+        assert nots == []
+        assert Interpreter(program).run("f", [5]).value == 2
+        assert Interpreter(program).run("f", [-5]).value == 1

@@ -1,0 +1,231 @@
+"""Tests for conditional elimination."""
+
+import pytest
+
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter
+from repro.ir import Graph, If, verify_graph
+from repro.ir.nodes import Compare, Goto
+from repro.ir.ops import CmpOp
+from repro.ir.stamps import IntStamp, TRUE_STAMP
+from repro.opts.condelim import (
+    ConditionalEliminationPhase,
+    FactScope,
+    assume_condition,
+)
+
+
+def branch_count(graph) -> int:
+    return sum(1 for b in graph.blocks if isinstance(b.terminator, If))
+
+
+def compile_and_eliminate(source: str, name: str = "f"):
+    program = compile_source(source)
+    graph = program.function(name)
+    ConditionalEliminationPhase().run(graph)
+    verify_graph(graph)
+    return program, graph
+
+
+class TestFactScope:
+    def test_scoped_refinement(self):
+        facts = FactScope()
+        from repro.ir import Graph as G, INT
+
+        graph = G("f", [("x", INT)], INT)
+        x = graph.parameters[0]
+        facts.push_scope()
+        facts.refine(x, IntStamp(0, 10))
+        assert facts.stamp_of(x) == IntStamp(0, 10)
+        facts.push_scope()
+        facts.refine(x, IntStamp(5, 20))
+        assert facts.stamp_of(x) == IntStamp(5, 10)  # joined
+        facts.pop_scope()
+        assert facts.stamp_of(x) == IntStamp(0, 10)
+        facts.pop_scope()
+        assert facts.stamp_of(x) == x.stamp
+
+    def test_constants_not_refined(self):
+        from repro.ir import Graph as G, INT
+
+        graph = G("f", [], INT)
+        facts = FactScope()
+        facts.push_scope()
+        facts.refine(graph.const_int(5), IntStamp(0, 0))
+        assert facts.stamp_of(graph.const_int(5)) == IntStamp(5, 5)
+
+
+class TestAssumeCondition:
+    def test_compare_refines_ranges(self):
+        from repro.ir import Graph as G, INT
+
+        graph = G("f", [("x", INT)], INT)
+        x = graph.parameters[0]
+        cmp = Compare(CmpOp.GT, x, graph.const_int(12))
+        facts = FactScope()
+        facts.push_scope()
+        assume_condition(facts, cmp, True)
+        stamp = facts.stamp_of(x)
+        assert stamp.lo == 13
+        assert facts.stamp_of(cmp) == TRUE_STAMP
+
+    def test_negated_compare(self):
+        from repro.ir import Graph as G, INT
+
+        graph = G("f", [("x", INT)], INT)
+        x = graph.parameters[0]
+        cmp = Compare(CmpOp.GT, x, graph.const_int(12))
+        facts = FactScope()
+        facts.push_scope()
+        assume_condition(facts, cmp, False)
+        assert facts.stamp_of(x).hi == 12
+
+    def test_null_check_refines_object(self):
+        src = "class A { x: int; }\nfn f(a: A) -> int { return 0; }"
+        program = compile_source(src)
+        graph = program.function("f")
+        a = graph.parameters[0]
+        null = graph.const_null(a.type)
+        cmp = Compare(CmpOp.NE, a, null)
+        facts = FactScope()
+        facts.push_scope()
+        assume_condition(facts, cmp, True)
+        assert facts.stamp_of(a).non_null
+        facts.pop_scope()
+        facts.push_scope()
+        assume_condition(facts, cmp, False)
+        assert facts.stamp_of(a).always_null
+
+
+class TestElimination:
+    def test_same_condition_reused(self):
+        _, graph = compile_and_eliminate(
+            """
+fn f(x: int) -> int {
+  var r: int = 0;
+  if (x > 0) { r = 1; } else { r = 2; }
+  if (x > 0) { return r + 10; }
+  return r;
+}
+"""
+        )
+        # The second x > 0 is decided per dominating branch... but it is
+        # below the merge, so it is NOT decidable without duplication.
+        assert branch_count(graph) == 2
+
+    def test_dominated_implied_condition_folds(self):
+        _, graph = compile_and_eliminate(
+            """
+fn f(x: int) -> int {
+  if (x > 12) {
+    if (x > 0) { return 1; }
+    return 2;
+  }
+  return 3;
+}
+"""
+        )
+        assert branch_count(graph) == 1
+
+    def test_dominated_contradiction_folds(self):
+        program, graph = compile_and_eliminate(
+            """
+fn f(x: int) -> int {
+  if (x < 0) {
+    if (x > 10) { return 1; }
+    return 2;
+  }
+  return 3;
+}
+"""
+        )
+        assert branch_count(graph) == 1
+        assert Interpreter(program).run("f", [-5]).value == 2
+
+    def test_equality_pins_value(self):
+        program, graph = compile_and_eliminate(
+            """
+fn f(x: int) -> int {
+  if (x == 7) {
+    if (x > 5) { return 1; }
+    return 2;
+  }
+  return 3;
+}
+"""
+        )
+        assert branch_count(graph) == 1
+        assert Interpreter(program).run("f", [7]).value == 1
+
+    def test_null_check_chain_folds(self):
+        program, graph = compile_and_eliminate(
+            """
+class A { x: int; }
+fn f(a: A) -> int {
+  if (a != null) {
+    if (a == null) { return 0 - 1; }
+    return a.x;
+  }
+  return 0;
+}
+"""
+        )
+        assert branch_count(graph) == 1
+        from repro.interp.interpreter import HeapObject
+
+        assert Interpreter(program).run("f", [HeapObject("A", {"x": 9})]).value == 9
+        assert Interpreter(program).run("f", [None]).value == 0
+
+    def test_undecidable_kept(self):
+        _, graph = compile_and_eliminate(
+            """
+fn f(x: int, y: int) -> int {
+  if (x > 0) {
+    if (y > 0) { return 1; }
+    return 2;
+  }
+  return 3;
+}
+"""
+        )
+        assert branch_count(graph) == 2
+
+    def test_semantics_preserved(self):
+        source = """
+fn f(x: int) -> int {
+  var r: int = 0;
+  if (x >= 10) {
+    if (x >= 5) { r = r + 1; } else { r = r + 100; }
+    if (x < 10) { r = r + 1000; }
+  }
+  if (x == 3) {
+    if (x != 3) { r = r + 7777; }
+    r = r + 3;
+  }
+  return r;
+}
+"""
+        program = compile_source(source)
+        expected = [Interpreter(program).run("f", [k]).value for k in range(-2, 15)]
+        ConditionalEliminationPhase().run(program.function("f"))
+        verify_graph(program.function("f"))
+        actual = [Interpreter(program).run("f", [k]).value for k in range(-2, 15)]
+        assert actual == expected
+
+    def test_loop_bound_implies_body_condition(self):
+        program, graph = compile_and_eliminate(
+            """
+fn f(n: int) -> int {
+  var s: int = 0;
+  var i: int = 0;
+  while (i < 10) {
+    if (i < 100) { s = s + 1; }
+    i = i + 1;
+  }
+  return s;
+}
+"""
+        )
+        # Inside the loop body i < 10 holds, so i < 100 folds.
+        assert branch_count(graph) == 1
+        assert Interpreter(program).run("f", [0]).value == 10

@@ -1,0 +1,142 @@
+"""Tests for global value numbering."""
+
+import pytest
+
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter
+from repro.ir import ArithOp, BinOp, Compare, verify_graph
+from repro.opts.gvn import GlobalValueNumberingPhase
+
+
+def count_arith(graph):
+    return sum(
+        1 for b in graph.blocks for i in b.instructions if isinstance(i, ArithOp)
+    )
+
+
+def run_gvn(source: str, name: str = "f"):
+    program = compile_source(source)
+    graph = program.function(name)
+    eliminated = GlobalValueNumberingPhase().run(graph)
+    verify_graph(graph)
+    return program, graph, eliminated
+
+
+class TestBasicNumbering:
+    def test_same_block_duplicate(self):
+        _, graph, eliminated = run_gvn(
+            "fn f(a: int, b: int) -> int { return (a + b) * (a + b); }"
+        )
+        assert eliminated == 1
+        assert count_arith(graph) == 2  # one Add + one Mul
+
+    def test_commutative_operands_match(self):
+        _, graph, eliminated = run_gvn(
+            "fn f(a: int, b: int) -> int { return (a + b) - (b + a); }"
+        )
+        assert eliminated == 1
+
+    def test_non_commutative_order_matters(self):
+        _, graph, eliminated = run_gvn(
+            "fn f(a: int, b: int) -> int { return (a - b) + (b - a); }"
+        )
+        assert eliminated == 0
+
+    def test_different_ops_not_merged(self):
+        _, graph, eliminated = run_gvn(
+            "fn f(a: int, b: int) -> int { return (a + b) + (a * b); }"
+        )
+        assert eliminated == 0
+
+    def test_comparisons_numbered(self):
+        _, graph, eliminated = run_gvn(
+            "fn f(a: int, b: int) -> bool { return (a < b) == (a < b); }"
+        )
+        assert eliminated == 1
+
+    def test_trapping_div_with_same_operands_numbered(self):
+        program, graph, eliminated = run_gvn(
+            "fn f(a: int, b: int) -> int { return (a / b) + (a / b); }"
+        )
+        assert eliminated == 1
+        # Trap behaviour preserved: still traps on b == 0.
+        assert Interpreter(program).run("f", [1, 0]).trapped
+        assert Interpreter(program).run("f", [8, 2]).value == 8
+
+
+class TestDominanceScoping:
+    def test_dominating_occurrence_reused(self):
+        _, graph, eliminated = run_gvn(
+            """
+fn f(a: int, b: int) -> int {
+  var x: int = a * b;
+  if (a > 0) { return x + a * b; }
+  return x;
+}
+"""
+        )
+        assert eliminated == 1
+
+    def test_sibling_branches_not_shared(self):
+        # Neither branch dominates the other: both copies must stay.
+        _, graph, eliminated = run_gvn(
+            """
+fn f(a: int, b: int) -> int {
+  if (a > 0) { return a * b; }
+  return a * b;
+}
+"""
+        )
+        assert eliminated == 0
+
+    def test_value_escaping_scope_not_reused_after(self):
+        # A value computed inside a branch is unavailable at the merge.
+        _, graph, eliminated = run_gvn(
+            """
+fn f(a: int, b: int) -> int {
+  var r: int = 0;
+  if (a > 0) { r = a * b; }
+  return r + a * b;
+}
+"""
+        )
+        assert eliminated == 0
+
+
+class TestSemantics:
+    def test_behaviour_preserved(self):
+        source = """
+fn f(a: int, b: int) -> int {
+  var s: int = (a + b) * (a + b);
+  if (a < b) { s = s + (a + b); }
+  var t: int = a * 31 + b;
+  return s + t + (a * 31 + b);
+}
+"""
+        program = compile_source(source)
+        expected = [
+            Interpreter(program).run("f", [i, j]).value
+            for i in range(-3, 4)
+            for j in range(-3, 4)
+        ]
+        GlobalValueNumberingPhase().run(program.function("f"))
+        verify_graph(program.function("f"))
+        actual = [
+            Interpreter(program).run("f", [i, j]).value
+            for i in range(-3, 4)
+            for j in range(-3, 4)
+        ]
+        assert actual == expected
+
+    def test_loop_scoped_correctly(self):
+        program, graph, _ = run_gvn(
+            """
+fn f(n: int) -> int {
+  var s: int = 0;
+  var i: int = 0;
+  while (i < n) { s = s + i * 2 + i * 2; i = i + 1; }
+  return s;
+}
+"""
+        )
+        assert Interpreter(program).run("f", [5]).value == 40

@@ -1,0 +1,133 @@
+"""Hypothesis soundness properties for stamp arithmetic.
+
+The single invariant everything rests on: a stamp operation may lose
+precision but must never exclude a value the concrete semantics can
+produce.  Violations here would make canonicalization and conditional
+elimination miscompile.
+"""
+
+import pytest
+from hypothesis import assume, given, strategies as st
+
+from repro.ir.ops import BinOp, CmpOp, EvaluationTrap, eval_binop, eval_cmp
+from repro.ir.stamps import INT_MAX, INT_MIN, IntStamp
+from repro.opts.stampmath import (
+    arith_stamp,
+    compare_stamps,
+    power_of_two_exponent,
+    refine_by_compare,
+)
+
+# Moderate magnitudes keep shifts/multiplies in-range so the reference
+# result is exact; separate tests cover the wrap-to-top behaviour.
+small = st.integers(min_value=-(2**30), max_value=2**30)
+
+
+@st.composite
+def stamp_and_value(draw):
+    a, b = draw(small), draw(small)
+    lo, hi = min(a, b), max(a, b)
+    v = draw(st.integers(min_value=lo, max_value=hi))
+    return IntStamp(lo, hi), v
+
+
+class TestArithStampSoundness:
+    @given(
+        st.sampled_from(list(BinOp)),
+        stamp_and_value(),
+        stamp_and_value(),
+    )
+    def test_result_always_contained(self, op, xs, ys):
+        (sx, x), (sy, y) = xs, ys
+        try:
+            result = eval_binop(op, x, y)
+        except EvaluationTrap:
+            assume(False)
+        out = arith_stamp(op, sx, sy)
+        assert out.contains(result), (
+            f"{op}: {x} in {sx}, {y} in {sy} -> {result} not in {out}"
+        )
+
+    def test_add_overflow_widens_to_top(self):
+        top_heavy = IntStamp(INT_MAX - 1, INT_MAX)
+        out = arith_stamp(BinOp.ADD, top_heavy, IntStamp(2, 2))
+        assert out.contains(INT_MIN)  # wrapped result must be included
+
+    def test_div_by_possibly_zero_is_top(self):
+        out = arith_stamp(BinOp.DIV, IntStamp(0, 100), IntStamp(-1, 1))
+        assert out == IntStamp()
+
+    def test_mod_positive_divisor_bounds(self):
+        out = arith_stamp(BinOp.MOD, IntStamp(0, 1000), IntStamp(1, 7))
+        assert out.lo >= 0 and out.hi <= 6
+
+
+class TestCompareStampsSoundness:
+    @given(
+        st.sampled_from(list(CmpOp)),
+        stamp_and_value(),
+        stamp_and_value(),
+    )
+    def test_decided_compare_is_correct(self, op, xs, ys):
+        (sx, x), (sy, y) = xs, ys
+        decided = compare_stamps(op, sx, sy)
+        if decided is not None:
+            assert decided == eval_cmp(op, x, y)
+
+    def test_disjoint_ranges_decide(self):
+        assert compare_stamps(CmpOp.LT, IntStamp(0, 5), IntStamp(6, 9)) is True
+        assert compare_stamps(CmpOp.GT, IntStamp(0, 5), IntStamp(6, 9)) is False
+        assert compare_stamps(CmpOp.EQ, IntStamp(0, 5), IntStamp(6, 9)) is False
+
+    def test_overlap_undecided(self):
+        assert compare_stamps(CmpOp.LT, IntStamp(0, 5), IntStamp(3, 9)) is None
+
+
+class TestRefineSoundness:
+    @given(
+        st.sampled_from(list(CmpOp)),
+        stamp_and_value(),
+        stamp_and_value(),
+    )
+    def test_refinement_keeps_witnesses(self, op, xs, ys):
+        """If x OP y has a given outcome, the refined stamps must still
+        contain x and y."""
+        (sx, x), (sy, y) = xs, ys
+        outcome = eval_cmp(op, x, y)
+        nx, ny = refine_by_compare(op, sx, sy, outcome)
+        assert nx.contains(x), f"{op} refinement dropped x={x} from {nx}"
+        assert ny.contains(y), f"{op} refinement dropped y={y} from {ny}"
+
+    def test_lt_true_narrows_upper_bound(self):
+        nx, ny = refine_by_compare(
+            CmpOp.LT, IntStamp(0, 100), IntStamp(10, 10), True
+        )
+        assert nx == IntStamp(0, 9)
+
+    def test_gt_true_narrows_lower_bound(self):
+        nx, _ = refine_by_compare(
+            CmpOp.GT, IntStamp(), IntStamp(12, 12), True
+        )
+        assert nx.lo == 13
+
+    def test_eq_joins_both(self):
+        nx, ny = refine_by_compare(
+            CmpOp.EQ, IntStamp(0, 100), IntStamp(50, 200), True
+        )
+        assert nx == IntStamp(50, 100)
+        assert ny == IntStamp(50, 100)
+
+    def test_ne_against_edge_constant(self):
+        nx, _ = refine_by_compare(
+            CmpOp.NE, IntStamp(0, 10), IntStamp(0, 0), True
+        )
+        assert nx == IntStamp(1, 10)
+
+
+class TestPowerOfTwo:
+    @pytest.mark.parametrize("value,expected", [
+        (1, 0), (2, 1), (4, 2), (1024, 10), (2**62, 62),
+        (0, None), (-4, None), (3, None), (6, None), (2**62 + 1, None),
+    ])
+    def test_exponents(self, value, expected):
+        assert power_of_two_exponent(value) == expected

@@ -1,0 +1,113 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+PROGRAM = """
+fn foo(x: int) -> int {
+  var p: int;
+  if (x > 0) { p = x; } else { p = 0; }
+  return 2 + p;
+}
+fn main(n: int) -> int {
+  var acc: int = 0;
+  var i: int = 0;
+  while (i < n) { acc = acc + foo(i - 3); i = i + 1; }
+  return acc;
+}
+"""
+
+TRAPPING = """
+fn main(n: int) -> int { return 10 / n; }
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mini"
+    path.write_text(PROGRAM)
+    return path
+
+
+class TestRun:
+    def test_run_prints_result(self, source_file, capsys):
+        code = main(["run", str(source_file), "--args", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result" in out and "176" in out
+        assert "simulated cycles" in out
+
+    def test_run_all_configs(self, source_file, capsys):
+        for config in ("baseline", "dbds", "dupalot", "backtracking", "path-dbds"):
+            code = main(["run", str(source_file), "--args", "20", "--config", config])
+            assert code == 0
+            assert "176" in capsys.readouterr().out
+
+    def test_trap_reported(self, tmp_path, capsys):
+        path = tmp_path / "trap.mini"
+        path.write_text(TRAPPING)
+        code = main(["run", str(path), "--args", "0"])
+        assert code == 1
+        assert "trap" in capsys.readouterr().err
+
+    def test_custom_entry(self, source_file, capsys):
+        code = main(["run", str(source_file), "--entry", "foo", "--args", "5"])
+        assert code == 0
+        assert "7" in capsys.readouterr().out
+
+
+class TestCompile:
+    def test_metrics_table(self, source_file, capsys):
+        code = main(["compile", str(source_file), "--config", "dbds"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "foo" in out and "main" in out and "size" in out
+
+    def test_dump_prints_ir(self, source_file, capsys):
+        code = main(["compile", str(source_file), "--dump"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fn main" in out and "entry:" in out
+
+
+class TestBench:
+    def test_bench_suite_table(self, capsys, monkeypatch):
+        # Shrink the suite for test speed.
+        import repro.bench.workloads.suites as suites
+        import dataclasses
+
+        tiny = dataclasses.replace(
+            suites.MICRO, benchmark_names=suites.MICRO.benchmark_names[:1]
+        )
+        monkeypatch.setitem(suites.ALL_SUITES, "micro", tiny)
+        code = main(["bench", "--suite", "micro"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Geometric mean" in out
+
+
+class TestArgparse:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_config_rejected(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["run", str(source_file), "--config", "nonsense"])
+
+
+class TestWorkloadCommand:
+    def test_prints_source(self, capsys):
+        code = main(["workload", "--suite", "micro", "--name", "akkaPP"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fn main" in out and "micro/akkaPP" in out
+
+    def test_default_name(self, capsys):
+        assert main(["workload", "--suite", "octane"]) == 0
+        assert "octane/box2d" in capsys.readouterr().out
+
+    def test_unknown_name_rejected(self, capsys):
+        assert main(["workload", "--suite", "micro", "--name", "nope"]) == 1
+        assert "unknown benchmark" in capsys.readouterr().err
