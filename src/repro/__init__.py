@@ -33,6 +33,14 @@ from .interp.interpreter import (
 )
 from .interp.profile import apply_profile, profile_program
 from .ir import Graph, Program, verify_graph, verify_program
+from .obs import (
+    CompileProfile,
+    Tracer,
+    current_tracer,
+    read_jsonl,
+    use_tracer,
+    write_jsonl,
+)
 from .pipeline.compiler import (
     CompilationReport,
     Compiler,
@@ -54,12 +62,14 @@ __version__ = "1.0.0"
 __all__ = [
     "apply_profile", "BACKTRACKING", "BASELINE", "build_program",
     "can_duplicate", "CompilationReport", "compile_and_profile",
-    "CompileError", "compile_source", "Compiler", "CompilerConfig",
-    "CONFIGURATIONS", "DBDS", "DbdsConfig", "DbdsPhase", "DbdsStats",
-    "DUPALOT", "duplicate_into", "DuplicationError", "ExecutionResult",
-    "Graph", "HeapArray", "HeapObject", "Interpreter",
-    "measure_performance", "observable_outcome", "parse_module",
-    "profile_program", "Program", "should_duplicate", "SimulationResult",
-    "SimulationTier", "sort_candidates", "TradeOffConfig", "UnitMetrics",
-    "verify_graph", "verify_program",
+    "CompileError", "compile_source", "CompileProfile", "Compiler",
+    "CompilerConfig", "CONFIGURATIONS", "current_tracer", "DBDS",
+    "DbdsConfig", "DbdsPhase", "DbdsStats", "DUPALOT", "duplicate_into",
+    "DuplicationError", "ExecutionResult", "Graph", "HeapArray",
+    "HeapObject", "Interpreter", "measure_performance",
+    "observable_outcome", "parse_module", "profile_program", "Program",
+    "read_jsonl", "should_duplicate", "SimulationResult",
+    "SimulationTier", "sort_candidates", "TradeOffConfig", "Tracer",
+    "UnitMetrics", "use_tracer", "verify_graph", "verify_program",
+    "write_jsonl",
 ]

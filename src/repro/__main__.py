@@ -3,25 +3,32 @@
 Usage::
 
     python -m repro run program.mini --entry main --args 10 --config dbds
-    python -m repro compile program.mini --config dupalot --dump
-    python -m repro bench --suite micro
+    python -m repro compile program.mini --config dupalot --dump --json
+    python -m repro trace program.mini --config dbds --out trace.jsonl
+    python -m repro bench --suite micro --profile-compile
 
 ``run`` JIT-compiles (profile run + optimization) and executes, printing
 the result and the simulated cycle count.  ``compile`` prints per-unit
-metrics and optionally the optimized IR.  ``bench`` regenerates one of
-the paper's evaluation figures.
+metrics and optionally the optimized IR.  ``trace`` compiles under a
+recording tracer and prints the aggregated compile profile.  ``bench``
+regenerates one of the paper's evaluation figures.  ``run``,
+``compile`` and ``bench`` all accept ``--trace-out FILE`` (write the
+JSONL event trace) and ``--profile-compile`` (print the per-phase
+profile); see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
-from .bench.harness import format_suite_report, run_suite
+from .bench.harness import format_suite_report, run_suite, suite_report_json
 from .bench.workloads.suites import ALL_SUITES
 from .frontend.irbuilder import compile_source
 from .interp.interpreter import Interpreter
+from .obs import CompileProfile, Tracer, write_jsonl
 from .pipeline.compiler import Compiler, compile_and_profile, measure_performance
 from .pipeline.config import CONFIGURATIONS
 
@@ -44,11 +51,43 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        help="write the JSONL event trace to this file",
+    )
+    parser.add_argument(
+        "--profile-compile",
+        action="store_true",
+        help="print the aggregated per-phase compile profile",
+    )
+
+
+def _make_tracer(args: argparse.Namespace) -> Tracer | None:
+    """An event-recording tracer when any telemetry output was asked."""
+    if args.trace_out is not None or args.profile_compile:
+        return Tracer()
+    return None
+
+
+def _emit_observability(args: argparse.Namespace, tracer: Tracer | None) -> None:
+    if tracer is None:
+        return
+    if args.trace_out is not None:
+        records = write_jsonl(tracer, args.trace_out)
+        print(f"trace: {records} records -> {args.trace_out}", file=sys.stderr)
+    if args.profile_compile:
+        print(CompileProfile.from_tracer(tracer).format())
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     source = args.source.read_text()
     config = CONFIGURATIONS[args.config]
+    tracer = _make_tracer(args)
     program, report = compile_and_profile(
-        source, args.entry, [args.args], config
+        source, args.entry, [args.args], config, tracer=tracer
     )
     cycles, results = measure_performance(program, args.entry, [args.args])
     result = results[0]
@@ -60,6 +99,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"compile time    : {report.total_compile_time * 1e3:.2f} ms")
     print(f"code size       : {report.total_code_size:.0f}")
     print(f"duplications    : {report.total_duplications}")
+    _emit_observability(args, tracer)
     return 0
 
 
@@ -67,23 +107,52 @@ def cmd_compile(args: argparse.Namespace) -> int:
     source = args.source.read_text()
     config = CONFIGURATIONS[args.config]
     program = compile_source(source)
-    report = Compiler(config).compile_program(program)
-    print(f"{'function':<20s}{'size':>8s}{'ctime ms':>10s}{'dups':>6s}")
-    for unit in report.units:
-        print(
-            f"{unit.function:<20s}{unit.code_size:>8.0f}"
-            f"{unit.compile_time * 1e3:>10.2f}{unit.duplications:>6d}"
-        )
+    tracer = _make_tracer(args)
+    report = Compiler(config, tracer=tracer).compile_program(program)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(f"{'function':<20s}{'size':>8s}{'ctime ms':>10s}{'dups':>6s}")
+        for unit in report.units:
+            print(
+                f"{unit.function:<20s}{unit.code_size:>8.0f}"
+                f"{unit.compile_time * 1e3:>10.2f}{unit.duplications:>6d}"
+            )
     if args.dump:
         print()
         print(program.describe())
+    _emit_observability(args, tracer)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Compile under a recording tracer; print the profile report."""
+    source = args.source.read_text()
+    config = CONFIGURATIONS[args.config]
+    program = compile_source(source)
+    tracer = Tracer()
+    Compiler(config, tracer=tracer).compile_program(program)
+    print(CompileProfile.from_tracer(tracer).format(top=args.top))
+    if args.decisions:
+        from .dbds.explain import format_decision_events
+
+        print()
+        print("DBDS decisions:")
+        print(format_decision_events(tracer.events))
+    if args.out is not None:
+        records = write_jsonl(tracer, args.out)
+        print(f"trace: {records} records -> {args.out}", file=sys.stderr)
     return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     profile = ALL_SUITES[args.suite]
-    report = run_suite(profile, seed=args.seed)
+    profile_phases = args.profile_compile or args.trace_out is not None
+    report = run_suite(profile, seed=args.seed, profile_phases=profile_phases)
     print(format_suite_report(report))
+    if args.trace_out is not None:
+        args.trace_out.write_text(json.dumps(suite_report_json(report), indent=2))
+        print(f"suite report -> {args.trace_out}", file=sys.stderr)
     return 0
 
 
@@ -148,18 +217,47 @@ def main(argv: list[str] | None = None) -> int:
 
     run_parser = sub.add_parser("run", help="JIT-compile and execute")
     _add_common(run_parser)
+    _add_observability(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     compile_parser = sub.add_parser("compile", help="compile and show metrics")
     _add_common(compile_parser)
+    _add_observability(compile_parser)
     compile_parser.add_argument(
         "--dump", action="store_true", help="print the optimized IR"
     )
+    compile_parser.add_argument(
+        "--json", action="store_true", help="print the report as JSON"
+    )
     compile_parser.set_defaults(func=cmd_compile)
+
+    trace_parser = sub.add_parser(
+        "trace", help="compile under a recording tracer, print the profile"
+    )
+    trace_parser.add_argument("source", type=pathlib.Path)
+    trace_parser.add_argument(
+        "--config",
+        default="dbds",
+        choices=sorted(CONFIGURATIONS),
+        help="compiler configuration",
+    )
+    trace_parser.add_argument(
+        "--out", type=pathlib.Path, default=None, help="write the JSONL trace here"
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=10, help="rows per profile section"
+    )
+    trace_parser.add_argument(
+        "--decisions",
+        action="store_true",
+        help="also list every DBDS decision event",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
 
     bench_parser = sub.add_parser("bench", help="run one evaluation suite")
     bench_parser.add_argument("--suite", default="micro", choices=sorted(ALL_SUITES))
     bench_parser.add_argument("--seed", type=int, default=0)
+    _add_observability(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
 
     evaluate_parser = sub.add_parser(

@@ -33,9 +33,15 @@ from .regalloc import DEFAULT_REGISTER_COUNT, AllocationResult, allocate, alloca
 def compile_to_machine(program, register_count: int = DEFAULT_REGISTER_COUNT):
     """Lower a (typically already optimized) IR program and allocate
     registers; the result is executable by :class:`Machine` and sizable
-    by :func:`program_bytes`."""
-    lir = lower_program(program)
-    allocate_program(lir, register_count)
+    by :func:`program_bytes`.  Both back-end stages report to the
+    ambient tracer as ``phase`` spans (``lowering`` / ``regalloc``)."""
+    from ..obs.tracer import current_tracer
+
+    tracer = current_tracer()
+    with tracer.span("phase", phase="lowering"):
+        lir = lower_program(program)
+    with tracer.span("phase", phase="regalloc"):
+        allocate_program(lir, register_count)
     return lir
 
 

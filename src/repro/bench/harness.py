@@ -17,9 +17,11 @@ the same starting IR (run-to-run isolation).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
+from ..obs.tracer import Tracer
 from ..pipeline.compiler import compile_and_profile, measure_performance
 from ..pipeline.config import BASELINE, CompilerConfig, DBDS, DUPALOT
 from .stats import format_percent, geometric_mean, speedup_percent
@@ -28,7 +30,14 @@ from .workloads.suites import SuiteProfile, Workload, generate_suite
 
 @dataclass
 class Measurement:
-    """One (workload, configuration) cell."""
+    """One (workload, configuration) cell.
+
+    All wall-clock numbers come from ``time.perf_counter`` — the
+    compiler's per-phase spans and the harness's own ``wall_time``
+    alike — so they are directly comparable.  ``phase_times`` (phase
+    name → inclusive seconds, summed over compilation units) is only
+    populated when the suite ran with ``profile_phases=True``.
+    """
 
     workload: str
     config: str
@@ -36,6 +45,8 @@ class Measurement:
     compile_time: float
     code_size: float
     duplications: int
+    wall_time: float = 0.0
+    phase_times: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -95,14 +106,28 @@ class SuiteReport:
         return (geometric_mean(ratios) - 1.0) * 100.0
 
 
-def measure_workload(workload: Workload, config: CompilerConfig) -> Measurement:
-    """Compile under ``config`` and run the measured workload."""
+def measure_workload(
+    workload: Workload,
+    config: CompilerConfig,
+    profile_phases: bool = False,
+) -> Measurement:
+    """Compile under ``config`` and run the measured workload.
+
+    ``profile_phases`` compiles under an event-recording tracer and
+    fills ``Measurement.phase_times`` — it adds tracing overhead to the
+    compile-time numbers (equally for every configuration), so it is
+    off by default.
+    """
+    tracer = Tracer() if profile_phases else None
+    wall_start = time.perf_counter()
     program, report = compile_and_profile(
-        workload.source, workload.entry, workload.profile_args, config
+        workload.source, workload.entry, workload.profile_args, config,
+        tracer=tracer,
     )
     cycles, results = measure_performance(
         program, workload.entry, workload.measure_args
     )
+    wall_time = time.perf_counter() - wall_start
     for result in results:
         if result.trapped:
             raise RuntimeError(
@@ -116,6 +141,8 @@ def measure_workload(workload: Workload, config: CompilerConfig) -> Measurement:
         compile_time=report.total_compile_time,
         code_size=report.total_code_size,
         duplications=report.total_duplications,
+        wall_time=wall_time,
+        phase_times=report.total_phase_times(),
     )
 
 
@@ -124,16 +151,19 @@ def run_suite(
     configs: Optional[Iterable[CompilerConfig]] = None,
     seed: int = 0,
     workloads: Optional[list[Workload]] = None,
+    profile_phases: bool = False,
 ) -> SuiteReport:
     """Measure a whole suite under baseline + the given configurations."""
     configs = list(configs) if configs is not None else [DBDS, DUPALOT]
     workloads = workloads if workloads is not None else generate_suite(profile, seed)
     report = SuiteReport(suite=profile.suite, config_names=[c.name for c in configs])
     for workload in workloads:
-        baseline = measure_workload(workload, BASELINE)
+        baseline = measure_workload(workload, BASELINE, profile_phases)
         row = BenchmarkRow(workload=workload.name, baseline=baseline)
         for config in configs:
-            row.configs[config.name] = measure_workload(workload, config)
+            row.configs[config.name] = measure_workload(
+                workload, config, profile_phases
+            )
         report.rows.append(row)
     return report
 
@@ -163,4 +193,83 @@ def format_suite_report(report: SuiteReport) -> str:
             f"{format_percent(report.geomean_compile_time(name)):>9s} "
             f"{format_percent(report.geomean_code_size(name)):>9s}"
         )
+    breakdown = suite_phase_times(report)
+    if any(breakdown.values()):
+        lines.append("Compile-time breakdown by phase (inclusive ms, suite total):")
+        phases = sorted(
+            {p for per_config in breakdown.values() for p in per_config},
+            key=lambda p: -max(bd.get(p, 0.0) for bd in breakdown.values()),
+        )
+        lines.append(
+            f"  {'phase':<28s}"
+            + "".join(f"{name:>14s}" for name in breakdown)
+        )
+        for phase in phases:
+            lines.append(
+                f"  {phase:<28s}"
+                + "".join(
+                    f"{breakdown[name].get(phase, 0.0) * 1e3:>14.2f}"
+                    for name in breakdown
+                )
+            )
     return "\n".join(lines)
+
+
+def suite_phase_times(report: SuiteReport) -> dict[str, dict[str, float]]:
+    """Config name → (phase → seconds) summed over the suite's rows.
+
+    Empty inner dicts when the suite ran without ``profile_phases``.
+    """
+    breakdown: dict[str, dict[str, float]] = {"baseline": {}}
+    for row in report.rows:
+        for phase, seconds in row.baseline.phase_times.items():
+            breakdown["baseline"][phase] = (
+                breakdown["baseline"].get(phase, 0.0) + seconds
+            )
+    for name in report.config_names:
+        per_config = breakdown.setdefault(name, {})
+        for row in report.rows:
+            for phase, seconds in row.configs[name].phase_times.items():
+                per_config[phase] = per_config.get(phase, 0.0) + seconds
+    return breakdown
+
+
+def suite_report_json(report: SuiteReport) -> dict[str, Any]:
+    """Machine-readable suite report: per-benchmark measurements with
+    per-phase compile-time breakdowns, plus the geomean summary —
+    written by ``python -m repro bench --trace-out`` so future perf
+    work can diff runs scriptably."""
+
+    def measurement_json(m: Measurement) -> dict[str, Any]:
+        return {
+            "cycles": m.cycles,
+            "compile_time": m.compile_time,
+            "wall_time": m.wall_time,
+            "code_size": m.code_size,
+            "duplications": m.duplications,
+            "phase_times": dict(m.phase_times),
+        }
+
+    return {
+        "suite": report.suite,
+        "configs": list(report.config_names),
+        "rows": [
+            {
+                "workload": row.workload,
+                "baseline": measurement_json(row.baseline),
+                "configs": {
+                    name: measurement_json(m) for name, m in row.configs.items()
+                },
+            }
+            for row in report.rows
+        ],
+        "geomeans": {
+            name: {
+                "speedup_percent": report.geomean_speedup(name),
+                "compile_time_percent": report.geomean_compile_time(name),
+                "code_size_percent": report.geomean_code_size(name),
+            }
+            for name in report.config_names
+        },
+        "phase_times": suite_phase_times(report),
+    }

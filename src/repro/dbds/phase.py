@@ -20,6 +20,8 @@ from ..ir.graph import Graph, Program
 from ..ir.loops import LoopForest
 from ..ir.nodes import Goto
 from ..ir.verifier import verify_graph
+from ..obs.tracer import NULL_TRACER, Tracer, current_tracer
+from ..opts.base import Phase
 from ..opts.canonicalize import CanonicalizerPhase
 from ..opts.condelim import ConditionalEliminationPhase
 from ..opts.gvn import GlobalValueNumberingPhase
@@ -27,7 +29,14 @@ from ..opts.pea import PartialEscapeAnalysisPhase
 from ..opts.readelim import ReadEliminationPhase
 from .duplicate import can_duplicate, duplicate_into
 from .simulation import SimulationResult, SimulationTier
-from .tradeoff import TradeOffConfig, should_duplicate, sort_candidates
+from .tradeoff import (
+    REASON_INVALIDATED,
+    TradeOffConfig,
+    TradeOffDecision,
+    emit_decision,
+    evaluate_candidate,
+    sort_candidates,
+)
 
 
 @dataclass
@@ -54,7 +63,15 @@ class DbdsConfig:
 
 @dataclass
 class DbdsStats:
-    """Phase outcome for reporting."""
+    """Phase outcome for reporting.
+
+    Since the telemetry subsystem landed this is a *view* over the
+    tracer's counters — ``candidates_simulated`` and
+    ``duplications_performed`` are the per-run deltas of the
+    ``dbds.candidates`` / ``dbds.duplications`` counters, and every
+    accept/reject is also available as a ``dbds.decision`` event when
+    event recording is on.
+    """
 
     candidates_simulated: int = 0
     duplications_performed: int = 0
@@ -63,7 +80,7 @@ class DbdsStats:
     final_size: float = 0.0
 
 
-class DbdsPhase:
+class DbdsPhase(Phase):
     """Dominance-based duplication simulation, end to end."""
 
     name = "dbds"
@@ -74,23 +91,66 @@ class DbdsPhase:
 
     def run(self, graph: Graph) -> DbdsStats:
         config = self.config
+        tracer = current_tracer()
+        if tracer is NULL_TRACER:
+            # Standalone use (tests, examples): counters must still
+            # tally for the stats view, so swap in a counting tracer.
+            tracer = Tracer(enabled=False)
+        candidates_before = tracer.counter("dbds.candidates")
+        duplications_before = tracer.counter("dbds.duplications")
         stats = DbdsStats(initial_size=graph_code_size(graph))
         initial_size = stats.initial_size
-        for _ in range(config.max_iterations):
+        for iteration in range(config.max_iterations):
             stats.iterations += 1
             # ---------------- Tier 1: simulation -----------------------
             tier = SimulationTier(graph, self.program)
             candidates = tier.run()
-            stats.candidates_simulated += len(candidates)
+            tracer.count("dbds.candidates", len(candidates))
             # ---------------- Tier 2: trade-off -------------------------
             ranked = sort_candidates(candidates, config.trade_off)
             # ---------------- Tier 3: optimization ----------------------
-            round_benefit = self._optimize(graph, ranked, initial_size, stats)
+            round_benefit = self._optimize(
+                graph, ranked, initial_size, tracer, iteration
+            )
             self._partial_optimizations(graph)
             if round_benefit < config.iteration_benefit_threshold:
                 break
+        stats.candidates_simulated = (
+            tracer.counter("dbds.candidates") - candidates_before
+        )
+        stats.duplications_performed = (
+            tracer.counter("dbds.duplications") - duplications_before
+        )
         stats.final_size = graph_code_size(graph)
         return stats
+
+    # ------------------------------------------------------------------
+    def _decide(
+        self, candidate: SimulationResult, current_size: float, initial_size: float
+    ) -> TradeOffDecision:
+        """Evaluate one candidate under the configured policy (the
+        dupalot configuration skips the cost/benefit trade-off)."""
+        config = self.config
+        if config.dupalot:
+            return TradeOffDecision(
+                weighted=candidate.weighted_benefit,
+                threshold_term=candidate.benefit > 0,
+                unit_size_term=current_size < config.trade_off.max_unit_size,
+                budget_term=True,
+                current_size=current_size,
+                initial_size=initial_size,
+            )
+        return evaluate_candidate(
+            candidate, current_size, initial_size, config.trade_off
+        )
+
+    def _record_applied(
+        self, tracer: Tracer, candidate: SimulationResult
+    ) -> None:
+        """Attribute the enabled optimizations to this duplication."""
+        tracer.count("dbds.duplications")
+        for reason in candidate.reasons:
+            tracer.count(f"dbds.applied.{reason}")
 
     # ------------------------------------------------------------------
     def _optimize(
@@ -98,9 +158,11 @@ class DbdsPhase:
         graph: Graph,
         ranked: list[SimulationResult],
         initial_size: float,
-        stats: DbdsStats,
+        tracer: Tracer,
+        iteration: int,
     ) -> float:
         config = self.config
+        mode = "dupalot" if config.dupalot else "dbds"
         round_benefit = 0.0
         loops = LoopForest(graph)
         structure_dirty = False
@@ -109,33 +171,48 @@ class DbdsPhase:
                 loops = LoopForest(graph)
                 structure_dirty = False
             if not self._still_valid(graph, candidate, loops):
+                tracer.count("dbds.decision.invalidated")
+                tracer.event(
+                    "dbds.decision",
+                    graph=graph.name,
+                    merge=candidate.merge.name,
+                    pred=candidate.pred.name,
+                    benefit=candidate.benefit,
+                    cost=candidate.cost,
+                    probability=candidate.probability,
+                    accepted=False,
+                    reason=REASON_INVALIDATED,
+                    iteration=iteration,
+                    mode=mode,
+                )
                 continue
             current_size = graph_code_size(graph)
-            if config.dupalot:
-                accept = (
-                    candidate.benefit > 0
-                    and current_size < config.trade_off.max_unit_size
-                )
-            else:
-                accept = should_duplicate(
-                    candidate, current_size, initial_size, config.trade_off
-                )
-            if not accept:
+            decision = self._decide(candidate, current_size, initial_size)
+            emit_decision(
+                tracer, graph.name, candidate, decision,
+                iteration=iteration, mode=mode,
+            )
+            if not decision.accepted:
                 continue
             duplicate_into(graph, candidate.pred, candidate.merge)
             if config.paranoid:
                 verify_graph(graph)
-            stats.duplications_performed += 1
+            self._record_applied(tracer, candidate)
             round_benefit += candidate.weighted_benefit
             structure_dirty = True
             if config.path_duplication:
                 round_benefit += self._extend_along_path(
-                    graph, candidate.pred, initial_size, stats
+                    graph, candidate.pred, initial_size, tracer, iteration
                 )
         return round_benefit
 
     def _extend_along_path(
-        self, graph: Graph, pred, initial_size: float, stats: DbdsStats
+        self,
+        graph: Graph,
+        pred,
+        initial_size: float,
+        tracer: Tracer,
+        iteration: int,
     ) -> float:
         """Section 8 future work: the predecessor just absorbed a merge;
         if it now ends in a Goto to *another* merge, keep specializing
@@ -169,21 +246,17 @@ class DbdsPhase:
             if match is None:
                 break
             current_size = graph_code_size(graph)
-            if config.dupalot:
-                accept = (
-                    match.benefit > 0
-                    and current_size < config.trade_off.max_unit_size
-                )
-            else:
-                accept = should_duplicate(
-                    match, current_size, initial_size, config.trade_off
-                )
-            if not accept:
+            decision = self._decide(match, current_size, initial_size)
+            emit_decision(
+                tracer, graph.name, match, decision,
+                iteration=iteration, mode="path",
+            )
+            if not decision.accepted:
                 break
             duplicate_into(graph, pred, next_merge)
             if config.paranoid:
                 verify_graph(graph)
-            stats.duplications_performed += 1
+            self._record_applied(tracer, match)
             gained += match.weighted_benefit
         return gained
 

@@ -42,6 +42,7 @@ from ..ir.nodes import (
 )
 from ..ir.ops import CmpOp
 from ..ir.stamps import Stamp
+from ..obs.tracer import current_tracer
 from ..opts.base import OptimizationContext, Rewrite
 from ..opts.canonicalize import canonicalize_instruction
 from ..opts.condelim import FactScope, assume_condition
@@ -136,6 +137,7 @@ class SimulationTier:
     # ------------------------------------------------------------------
     def run(self) -> list[SimulationResult]:
         """Simulate every candidate pair; returns unsorted results."""
+        tracer = current_tracer()
         results: list[SimulationResult] = []
         facts = FactScope()
         ENTER, LEAVE = 0, 1
@@ -155,6 +157,17 @@ class SimulationTier:
                         result = self._simulate_pair(block, merge, facts)
                         if result is not None:
                             results.append(result)
+                            if tracer.enabled:
+                                tracer.event(
+                                    "dbds.candidate",
+                                    graph=self.graph.name,
+                                    merge=result.merge.name,
+                                    pred=result.pred.name,
+                                    benefit=result.benefit,
+                                    cost=result.cost,
+                                    probability=result.probability,
+                                    reasons=sorted(set(result.reasons)),
+                                )
             for child in reversed(self.dom.dominator_tree_children(block)):
                 stack.append((ENTER, child))
         return results

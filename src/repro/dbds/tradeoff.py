@@ -14,7 +14,9 @@ benefit so the most promising pairs consume the budget first.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from ..obs.tracer import Event, Tracer
 from .simulation import SimulationResult
 
 #: BS — how much more cost than benefit we tolerate (paper: 256).
@@ -37,6 +39,69 @@ class TradeOffConfig:
     use_probability: bool = True
 
 
+#: canonical rejection wordings (shared by explain and decision events)
+REASON_THRESHOLD = "benefit below cost threshold"
+REASON_UNIT_SIZE = "compilation unit at max size"
+REASON_BUDGET = "code-size budget exhausted"
+REASON_INVALIDATED = "invalidated by earlier duplication"
+REASON_ACCEPT = "accept"
+
+
+@dataclass
+class TradeOffDecision:
+    """One evaluated ``shouldDuplicate`` predicate, term by term.
+
+    This is the record the telemetry subsystem serializes as a
+    ``dbds.decision`` event, and the record ``repro.dbds.explain``
+    renders — one source of truth for the three terms.
+    """
+
+    weighted: float
+    threshold_term: bool
+    unit_size_term: bool
+    budget_term: bool
+    current_size: float
+    initial_size: float
+
+    @property
+    def accepted(self) -> bool:
+        return self.threshold_term and self.unit_size_term and self.budget_term
+
+    def reason(self) -> str:
+        """``"accept"`` or the comma-joined failing terms."""
+        if self.accepted:
+            return REASON_ACCEPT
+        reasons = []
+        if not self.threshold_term:
+            reasons.append(REASON_THRESHOLD)
+        if not self.unit_size_term:
+            reasons.append(REASON_UNIT_SIZE)
+        if not self.budget_term:
+            reasons.append(REASON_BUDGET)
+        return ", ".join(reasons)
+
+
+def evaluate_candidate(
+    candidate: SimulationResult,
+    current_size: float,
+    initial_size: float,
+    config: TradeOffConfig | None = None,
+) -> TradeOffDecision:
+    """Evaluate every term of the paper's shouldDuplicate predicate."""
+    cfg = config or TradeOffConfig()
+    b = candidate.benefit
+    p = candidate.probability if cfg.use_probability else 1.0
+    c = candidate.cost
+    return TradeOffDecision(
+        weighted=b * p,
+        threshold_term=b * p * cfg.benefit_scale > c,
+        unit_size_term=current_size < cfg.max_unit_size,
+        budget_term=current_size + c < initial_size * cfg.increase_budget,
+        current_size=current_size,
+        initial_size=initial_size,
+    )
+
+
 def should_duplicate(
     candidate: SimulationResult,
     current_size: float,
@@ -44,17 +109,41 @@ def should_duplicate(
     config: TradeOffConfig | None = None,
 ) -> bool:
     """The paper's shouldDuplicate(bpi, bm, benefit, cost) predicate."""
-    cfg = config or TradeOffConfig()
-    b = candidate.benefit
-    p = candidate.probability if cfg.use_probability else 1.0
-    c = candidate.cost
-    if not (b * p * cfg.benefit_scale > c):
-        return False
-    if not (current_size < cfg.max_unit_size):
-        return False
-    if not (current_size + c < initial_size * cfg.increase_budget):
-        return False
-    return True
+    return evaluate_candidate(candidate, current_size, initial_size, config).accepted
+
+
+def emit_decision(
+    tracer: Tracer,
+    graph_name: str,
+    candidate: SimulationResult,
+    decision: TradeOffDecision,
+    *,
+    iteration: int = 0,
+    mode: str = "dbds",
+) -> Optional[Event]:
+    """Record one ``dbds.decision`` event and bump the accept/reject
+    counters; returns the event (None when the tracer is disabled)."""
+    accepted = decision.accepted
+    tracer.count("dbds.decision.accepted" if accepted else "dbds.decision.rejected")
+    return tracer.event(
+        "dbds.decision",
+        graph=graph_name,
+        merge=candidate.merge.name,
+        pred=candidate.pred.name,
+        benefit=candidate.benefit,
+        cost=candidate.cost,
+        probability=candidate.probability,
+        weighted=decision.weighted,
+        threshold_term=decision.threshold_term,
+        unit_size_term=decision.unit_size_term,
+        budget_term=decision.budget_term,
+        accepted=accepted,
+        reason=decision.reason(),
+        current_size=decision.current_size,
+        initial_size=decision.initial_size,
+        iteration=iteration,
+        mode=mode,
+    )
 
 
 def sort_candidates(

@@ -1,0 +1,211 @@
+"""The event/span tracer at the heart of the telemetry subsystem.
+
+A :class:`Tracer` collects three kinds of telemetry from one
+compilation (or one benchmark run):
+
+* **spans** — named, nested intervals with wall-clock duration.  The
+  pipeline wraps every phase run in a ``phase`` span (see
+  :class:`repro.opts.base.Phase`), recording per-phase time plus the
+  node-count and code-size deltas the phase caused;
+* **point events** — typed records such as the DBDS ``dbds.candidate``
+  and ``dbds.decision`` events (one per simulated pair, with benefit,
+  cost, probability and every ``shouldDuplicate`` term);
+* **counters** — cheap monotonic tallies (``dbds.duplications``,
+  ``dbds.applied.constant-fold``, …) that stay live even when event
+  recording is off.
+
+Overhead discipline: the ambient default is :data:`NULL_TRACER`, whose
+every operation is a no-op, and every instrumentation site checks
+``tracer.enabled`` before computing anything expensive (code-size
+recomputation in particular).  A ``Tracer(enabled=False)`` is the
+middle setting — counters tally, but no events or timestamps are taken
+— and is what the compiler uses by default so that per-unit metrics
+can be wired from counters without ad-hoc plumbing.
+
+The event schema and its serialization live in
+:mod:`repro.obs.sinks`; aggregation lives in :mod:`repro.obs.profile`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+#: event kinds admitted by the schema
+KIND_EVENT = "event"
+KIND_SPAN = "span"
+
+
+@dataclass
+class Event:
+    """One telemetry record.
+
+    ``ts`` is seconds since the owning tracer's epoch; ``dur`` is the
+    span duration (``None`` for point events); ``depth`` is the span
+    nesting depth at emission time.  Everything domain-specific lives
+    in ``attrs`` so the schema can grow without code changes.
+    """
+
+    name: str
+    kind: str = KIND_EVENT
+    ts: float = 0.0
+    dur: Optional[float] = None
+    depth: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class _Span:
+    """Context manager recording one span; yields its :class:`Event`
+    so the instrumentation site can attach attributes computed after
+    the body (node/size deltas)."""
+
+    __slots__ = ("_tracer", "event", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.event = Event(name=name, kind=KIND_SPAN, attrs=attrs)
+
+    def __enter__(self) -> Event:
+        tracer = self._tracer
+        self.event.depth = tracer._depth
+        tracer._depth += 1
+        # Appended at entry so the trace reads in start order.
+        tracer.events.append(self.event)
+        self._t0 = tracer.clock()
+        self.event.ts = self._t0 - tracer.epoch
+        return self.event
+
+    def __exit__(self, *exc) -> bool:
+        tracer = self._tracer
+        self.event.dur = tracer.clock() - self._t0
+        tracer._depth -= 1
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Event:
+        # A fresh throwaway event: callers may set attrs on it.
+        return Event(name="null")
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans, events and counters for one compilation.
+
+    ``enabled=True`` records everything; ``enabled=False`` keeps only
+    the counters (cheap dict increments — this is the compiler's
+    default so metrics wiring works without event overhead).
+    """
+
+    __slots__ = ("enabled", "clock", "epoch", "events", "counters", "_depth")
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.epoch = clock()
+        self.events: list[Event] = []
+        self.counters: dict[str, int] = {}
+        self._depth = 0
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs: Any):
+        """Start a span; use as ``with tracer.span("phase", ...) as ev``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> Optional[Event]:
+        """Record a point event; returns it (or None when disabled)."""
+        if not self.enabled:
+            return None
+        record = Event(
+            name=name,
+            ts=self.clock() - self.epoch,
+            depth=self._depth,
+            attrs=attrs,
+        )
+        self.events.append(record)
+        return record
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump a counter (works even when event recording is off)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 when never bumped)."""
+        return self.counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    def spans(self, name: Optional[str] = None) -> list[Event]:
+        """All span events, optionally filtered by name."""
+        return [
+            e
+            for e in self.events
+            if e.kind == KIND_SPAN and (name is None or e.name == name)
+        ]
+
+    def named(self, name: str) -> list[Event]:
+        """All events (any kind) with the given name."""
+        return [e for e in self.events if e.name == name]
+
+
+class NullTracer(Tracer):
+    """The ambient default: drops events *and* counters.
+
+    A process-wide singleton must not accrue state across unrelated
+    compilations, so unlike ``Tracer(enabled=False)`` even ``count``
+    is a no-op here.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def event(self, name: str, **attrs: Any) -> Optional[Event]:
+        return None
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+# ----------------------------------------------------------------------
+# Ambient tracer: instrumentation sites (Phase.run, the DBDS tiers, the
+# backend) read it instead of threading a tracer argument through every
+# constructor in the compiler.
+# ----------------------------------------------------------------------
+_current: Tracer = NULL_TRACER
+
+
+def current_tracer() -> Tracer:
+    """The tracer instrumentation sites should emit to."""
+    return _current
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the duration."""
+    global _current
+    previous = _current
+    _current = tracer
+    try:
+        yield tracer
+    finally:
+        _current = previous

@@ -21,13 +21,61 @@ and refined stamps, the real phases resolve identically.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..costmodel.estimator import graph_code_size
 from ..costmodel.model import cycles_of, size_of
 from ..ir.graph import Graph
 from ..ir.nodes import Instruction, Value
 from ..ir.stamps import Stamp
+from ..obs.tracer import current_tracer
+
+
+def _traced_run(run):
+    """Wrap a phase's ``run`` so the ambient tracer sees every
+    invocation as a ``phase`` span with wall time plus the node-count
+    and code-size deltas the phase caused.
+
+    With the default :data:`~repro.obs.tracer.NULL_TRACER` (or any
+    disabled tracer) this is one attribute check on top of the call —
+    the deltas are only computed when a trace is being recorded.
+    """
+
+    @functools.wraps(run)
+    def traced(self, graph, *args, **kwargs):
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return run(self, graph, *args, **kwargs)
+        nodes_before = graph.instruction_count()
+        size_before = graph_code_size(graph)
+        with tracer.span("phase", phase=self.name, graph=graph.name) as span:
+            result = run(self, graph, *args, **kwargs)
+            span.attrs["nodes_delta"] = graph.instruction_count() - nodes_before
+            span.attrs["size_delta"] = graph_code_size(graph) - size_before
+        return result
+
+    traced._obs_traced = True
+    traced.__wrapped__ = run
+    return traced
+
+
+class Phase:
+    """Base class of every optimization phase.
+
+    Subclasses provide ``name`` and ``run(graph)``; the phase-entry
+    hook below rewrites each subclass's ``run`` so all phases are
+    traced uniformly — no phase carries its own instrumentation.
+    """
+
+    name = "phase"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        run = cls.__dict__.get("run")
+        if run is not None and not getattr(run, "_obs_traced", False):
+            cls.run = _traced_run(run)
 
 
 @dataclass

@@ -29,7 +29,7 @@ from ..ir.nodes import (
 )
 from ..ir.ops import BinOp, CmpOp, EvaluationTrap, eval_binop, eval_cmp
 from ..ir.stamps import BoolStamp, IntStamp, ObjectStamp
-from .base import OptimizationContext, Rewrite
+from .base import OptimizationContext, Phase, Rewrite
 from .stampmath import compare_stamps, power_of_two_exponent
 
 
@@ -317,7 +317,7 @@ def remove_dead_instructions(graph: Graph) -> int:
     return removed
 
 
-class CanonicalizerPhase:
+class CanonicalizerPhase(Phase):
     """Fixpoint application of all canonicalization ACs + CFG cleanup."""
 
     name = "canonicalize"

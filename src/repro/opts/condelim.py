@@ -28,7 +28,7 @@ from ..ir.stamps import (
     TRUE_STAMP,
     join as stamp_join,
 )
-from .base import OptimizationContext
+from .base import OptimizationContext, Phase
 from .canonicalize import remove_dead_instructions
 from .stampmath import compare_stamps, refine_by_compare
 
@@ -115,7 +115,7 @@ def assume_condition(facts: FactScope, condition: Value, holds: bool) -> None:
                 facts.refine(y, ObjectStamp(sy.type, non_null=True))
 
 
-class ConditionalEliminationPhase:
+class ConditionalEliminationPhase(Phase):
     """Fold dominated conditions that dominating branches decide."""
 
     name = "conditional-elimination"

@@ -19,6 +19,7 @@ from __future__ import annotations
 from ..ir.dominators import DominatorTree
 from ..ir.graph import Graph
 from ..ir.nodes import ArithOp, Compare, Instruction, Neg, Not, Phi, Value
+from .base import Phase
 
 
 def _value_key(ins: Instruction):
@@ -37,7 +38,7 @@ def _value_key(ins: Instruction):
     return None
 
 
-class GlobalValueNumberingPhase:
+class GlobalValueNumberingPhase(Phase):
     """Dominator-tree-scoped common-subexpression elimination."""
 
     name = "global-value-numbering"

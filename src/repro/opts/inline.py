@@ -18,11 +18,12 @@ from ..ir.block import Block
 from ..ir.cfgutils import canonical_cfg_cleanup
 from ..ir.copy import clone_instruction, clone_terminator
 from ..ir.graph import Graph, Program
+from .base import Phase
 from ..ir.nodes import Call, Constant, Goto, Phi, Return, Value
 from ..ir.types import VOID
 
 
-class InliningPhase:
+class InliningPhase(Phase):
     """Iteratively inline small callees into a caller graph."""
 
     name = "inlining"

@@ -17,6 +17,7 @@ from ..ir.block import Block
 from ..ir.graph import Graph
 from ..ir.loops import Loop, LoopForest
 from ..ir.nodes import ArithOp, Compare, Goto, Instruction, Neg, Not
+from .base import Phase
 
 
 def _is_hoistable(instruction: Instruction) -> bool:
@@ -27,7 +28,7 @@ def _is_hoistable(instruction: Instruction) -> bool:
     return False
 
 
-class LoopInvariantCodeMotionPhase:
+class LoopInvariantCodeMotionPhase(Phase):
     """Hoist loop-invariant pure computations to pre-headers."""
 
     name = "loop-invariant-code-motion"

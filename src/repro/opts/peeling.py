@@ -28,6 +28,7 @@ from ..ir.cfgutils import (
 from ..ir.copy import clone_instruction, clone_terminator
 from ..ir.dominators import DominatorTree
 from ..ir.graph import Graph
+from .base import Phase
 from ..ir.loops import Loop, LoopForest
 from ..ir.nodes import Constant, Goto, Phi, Value
 from ..ir.ssa_repair import repair_value
@@ -231,7 +232,7 @@ def _uses_outside(value: Value, region: set[Block]) -> list:
     return result
 
 
-class LoopPeelingPhase:
+class LoopPeelingPhase(Phase):
     """Peel loops whose first iteration specializes.
 
     Heuristic: a loop is worth peeling when some header phi has a

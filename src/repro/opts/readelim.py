@@ -20,6 +20,7 @@ from typing import Optional
 from ..ir.block import Block
 from ..ir.cfgutils import reverse_post_order
 from ..ir.graph import Graph, Program
+from .base import Phase
 from ..ir.nodes import (
     ArrayLoad,
     ArrayStore,
@@ -94,7 +95,7 @@ class MemoryCache:
         self.arrays[(array, index)] = value
 
 
-class ReadEliminationPhase:
+class ReadEliminationPhase(Phase):
     """Forward memory-state propagation + redundant read replacement."""
 
     name = "read-elimination"

@@ -18,12 +18,13 @@ from typing import Any, Iterable, Optional
 from ..costmodel.estimator import graph_code_size
 from ..costmodel.model import cycles_of
 from ..dbds.backtracking import BacktrackingDuplication
-from ..dbds.phase import DbdsPhase, DbdsStats
+from ..dbds.phase import DbdsPhase
 from ..frontend.irbuilder import compile_source
 from ..interp.interpreter import ExecutionResult, Interpreter
 from ..interp.profile import apply_profile, profile_program
 from ..ir.graph import Graph, Program
 from ..ir.verifier import verify_graph
+from ..obs.tracer import Tracer, use_tracer
 from ..opts.canonicalize import CanonicalizerPhase
 from ..opts.condelim import ConditionalEliminationPhase
 from ..opts.gvn import GlobalValueNumberingPhase
@@ -36,7 +37,12 @@ from .config import BASELINE, CompilerConfig
 
 @dataclass
 class UnitMetrics:
-    """Metrics of one compiled function (compilation unit)."""
+    """Metrics of one compiled function (compilation unit).
+
+    ``duplications`` and ``candidates`` are wired from the tracer's
+    ``dbds.*`` counters; ``phase_times`` (phase name → seconds) is
+    populated only when compiling under an event-recording tracer.
+    """
 
     function: str
     compile_time: float = 0.0
@@ -44,12 +50,36 @@ class UnitMetrics:
     initial_code_size: float = 0.0
     duplications: int = 0
     candidates: int = 0
+    phase_times: dict[str, float] = field(default_factory=dict)
 
     @property
     def code_size_increase(self) -> float:
         if self.initial_code_size == 0:
             return 0.0
         return self.code_size / self.initial_code_size - 1.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "function": self.function,
+            "compile_time": self.compile_time,
+            "code_size": self.code_size,
+            "initial_code_size": self.initial_code_size,
+            "duplications": self.duplications,
+            "candidates": self.candidates,
+            "phase_times": dict(self.phase_times),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "UnitMetrics":
+        return cls(
+            function=data["function"],
+            compile_time=data.get("compile_time", 0.0),
+            code_size=data.get("code_size", 0.0),
+            initial_code_size=data.get("initial_code_size", 0.0),
+            duplications=data.get("duplications", 0),
+            candidates=data.get("candidates", 0),
+            phase_times=dict(data.get("phase_times", {})),
+        )
 
 
 @dataclass
@@ -71,12 +101,52 @@ class CompilationReport:
     def total_duplications(self) -> int:
         return sum(u.duplications for u in self.units)
 
+    def total_phase_times(self) -> dict[str, float]:
+        """Seconds per phase summed over units (empty if untraced)."""
+        totals: dict[str, float] = {}
+        for unit in self.units:
+            for phase, seconds in unit.phase_times.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
+
+    def to_json(self) -> dict[str, Any]:
+        """Machine-readable form (``python -m repro compile --json``)."""
+        return {
+            "config": self.config,
+            "units": [unit.to_json() for unit in self.units],
+            "totals": {
+                "compile_time": self.total_compile_time,
+                "code_size": self.total_code_size,
+                "duplications": self.total_duplications,
+                "phase_times": self.total_phase_times(),
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "CompilationReport":
+        return cls(
+            config=data["config"],
+            units=[UnitMetrics.from_json(u) for u in data.get("units", [])],
+        )
+
 
 class Compiler:
-    """Compiles IR programs under a :class:`CompilerConfig`."""
+    """Compiles IR programs under a :class:`CompilerConfig`.
 
-    def __init__(self, config: CompilerConfig = BASELINE) -> None:
+    Pass an event-recording :class:`~repro.obs.tracer.Tracer` to get a
+    full trace — per-phase spans, DBDS candidate and decision events.
+    By default a counting-only tracer is used, which keeps overhead at
+    one flag check per phase while still feeding the ``dbds.*``
+    counters that :class:`UnitMetrics` is wired from.
+    """
+
+    def __init__(
+        self,
+        config: CompilerConfig = BASELINE,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         self.config = config
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
 
     # ------------------------------------------------------------------
     def compile_program(self, program: Program) -> CompilationReport:
@@ -87,36 +157,58 @@ class Compiler:
         return report
 
     def compile_function(self, program: Program, name: str) -> UnitMetrics:
+        with use_tracer(self.tracer):
+            return self._compile_function(program, name)
+
+    def _compile_function(self, program: Program, name: str) -> UnitMetrics:
+        tracer = self.tracer
         graph = program.function(name)
         metrics = UnitMetrics(function=name)
-        start = time.perf_counter()
+        candidates_before = tracer.counter("dbds.candidates")
+        duplications_before = tracer.counter("dbds.duplications")
+        span_start = len(tracer.events)
+        with tracer.span("compile", function=name, config=self.config.name):
+            start = time.perf_counter()
 
-        if self.config.enable_inlining:
-            InliningPhase(program).run(graph)
-        self._cleanup_phases(program, graph)
-        if self.config.enable_peeling:
-            from ..opts.peeling import LoopPeelingPhase
-
-            LoopPeelingPhase().run(graph)
+            if self.config.enable_inlining:
+                InliningPhase(program).run(graph)
             self._cleanup_phases(program, graph)
-        metrics.initial_code_size = graph_code_size(graph)
+            if self.config.enable_peeling:
+                from ..opts.peeling import LoopPeelingPhase
 
-        if self.config.backtracking:
-            backtracker = BacktrackingDuplication(program)
-            new_graph = backtracker.run(graph)
-            if new_graph is not graph:
-                program.functions[name] = new_graph
-                graph = new_graph
-            metrics.duplications = backtracker.stats.kept
-        elif self.config.enable_dbds:
-            phase = DbdsPhase(program, self.config.dbds_config())
-            stats: DbdsStats = phase.run(graph)
-            metrics.duplications = stats.duplications_performed
-            metrics.candidates = stats.candidates_simulated
+                LoopPeelingPhase().run(graph)
+                self._cleanup_phases(program, graph)
+            metrics.initial_code_size = graph_code_size(graph)
 
-        self._cleanup_phases(program, graph)
-        metrics.compile_time = time.perf_counter() - start
+            if self.config.backtracking:
+                backtracker = BacktrackingDuplication(program)
+                with tracer.span(
+                    "phase", phase=BacktrackingDuplication.name, graph=name
+                ):
+                    new_graph = backtracker.run(graph)
+                if new_graph is not graph:
+                    program.functions[name] = new_graph
+                    graph = new_graph
+                tracer.count("dbds.duplications", backtracker.stats.kept)
+            elif self.config.enable_dbds:
+                DbdsPhase(program, self.config.dbds_config()).run(graph)
+
+            self._cleanup_phases(program, graph)
+            metrics.compile_time = time.perf_counter() - start
+
+        metrics.duplications = (
+            tracer.counter("dbds.duplications") - duplications_before
+        )
+        metrics.candidates = tracer.counter("dbds.candidates") - candidates_before
         metrics.code_size = graph_code_size(graph)
+        if tracer.enabled:
+            for event in tracer.events[span_start:]:
+                if event.kind == "span" and event.name == "phase":
+                    phase_name = str(event.attrs.get("phase", "?"))
+                    metrics.phase_times[phase_name] = (
+                        metrics.phase_times.get(phase_name, 0.0)
+                        + (event.dur or 0.0)
+                    )
         if self.config.paranoid:
             verify_graph(graph)
         return metrics
@@ -141,17 +233,18 @@ def compile_and_profile(
     entry: str,
     profile_args: Iterable[list[Any]],
     config: CompilerConfig = BASELINE,
+    tracer: Optional[Tracer] = None,
 ) -> tuple[Program, CompilationReport]:
     """Front-end + profiling run + optimizing compilation.
 
     This is the full JIT story in one call: parse, collect a profile by
     interpreting the unoptimized program, feed the profile to the
-    compiler, optimize.
+    compiler, optimize.  Pass a ``tracer`` to record the compilation.
     """
     program = compile_source(source)
     collector = profile_program(program, entry, profile_args)
     apply_profile(program, collector)
-    report = Compiler(config).compile_program(program)
+    report = Compiler(config, tracer=tracer).compile_program(program)
     return program, report
 
 

@@ -32,6 +32,16 @@ class TestMeasureWorkload:
         assert m.compile_time > 0
         assert m.duplications == 0
         assert m.config == "baseline"
+        # perf_counter wall clock covers compile + measured run
+        assert m.wall_time >= m.compile_time
+        # per-phase breakdown only on request
+        assert m.phase_times == {}
+
+    def test_phase_profiling_on_request(self):
+        workload = generate_workload(MICRO, "charcount")
+        m = measure_workload(workload, DBDS, profile_phases=True)
+        assert "dbds" in m.phase_times and "canonicalize" in m.phase_times
+        assert all(seconds >= 0 for seconds in m.phase_times.values())
 
     def test_dbds_measurement_duplicates(self):
         workload = generate_workload(MICRO, "charcount")

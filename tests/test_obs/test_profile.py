@@ -1,0 +1,132 @@
+"""Tests for compile-profile aggregation over real compilations."""
+
+import pytest
+
+from repro.frontend.irbuilder import compile_source
+from repro.obs import CompileProfile, Tracer, read_jsonl, write_jsonl
+from repro.pipeline.compiler import Compiler
+from repro.pipeline.config import CONFIGURATIONS, DBDS
+
+SOURCE = """
+fn helper(x: int) -> int {
+  var p: int;
+  if (x > 0) { p = x; } else { p = 0; }
+  return 2 + p;
+}
+fn main(n: int) -> int {
+  var acc: int = 0;
+  var i: int = 0;
+  while (i < n) { acc = acc + helper(i - 3); i = i + 1; }
+  return acc;
+}
+"""
+
+PIPELINE_PHASES = {
+    "inlining",
+    "canonicalize",
+    "global-value-numbering",
+    "loop-invariant-code-motion",
+    "conditional-elimination",
+    "read-elimination",
+    "partial-escape-analysis",
+    "dbds",
+}
+
+
+@pytest.fixture(scope="module")
+def traced_compile():
+    tracer = Tracer()
+    program = compile_source(SOURCE)
+    report = Compiler(DBDS, tracer=tracer).compile_program(program)
+    return tracer, report
+
+
+class TestCompileProfile:
+    def test_every_pipeline_phase_profiled(self, traced_compile):
+        tracer, _ = traced_compile
+        profile = CompileProfile.from_tracer(tracer)
+        assert PIPELINE_PHASES <= set(profile.phases)
+        for phase in PIPELINE_PHASES:
+            stat = profile.phases[phase]
+            assert stat.count > 0
+            assert stat.total >= 0.0
+            assert stat.max_dur <= stat.total + 1e-12
+
+    def test_functions_and_total(self, traced_compile):
+        tracer, report = traced_compile
+        profile = CompileProfile.from_tracer(tracer)
+        assert set(profile.functions) == {"helper", "main"}
+        assert profile.total_time > 0.0
+        # Total compile time (inside spans) is close to the report's.
+        assert profile.total_time == pytest.approx(
+            report.total_compile_time, rel=0.5
+        )
+
+    def test_decision_breakdown_matches_counters(self, traced_compile):
+        tracer, _ = traced_compile
+        profile = CompileProfile.from_tracer(tracer)
+        assert profile.accepted == tracer.counter("dbds.decision.accepted")
+        rejected = (
+            tracer.counter("dbds.decision.rejected")
+            + tracer.counter("dbds.decision.invalidated")
+        )
+        assert profile.rejected == rejected
+        assert profile.accepted > 0  # this program duplicates
+
+    def test_applied_counters_surface(self, traced_compile):
+        tracer, _ = traced_compile
+        profile = CompileProfile.from_tracer(tracer)
+        assert profile.applied  # at least one optimization attributed
+        assert all(count > 0 for count in profile.applied.values())
+
+    def test_survives_jsonl_round_trip(self, traced_compile, tmp_path):
+        tracer, _ = traced_compile
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(tracer, path)
+        rebuilt = CompileProfile.from_events(read_jsonl(path))
+        direct = CompileProfile.from_tracer(tracer)
+        assert rebuilt.to_json() == direct.to_json()
+
+    def test_format_mentions_phases_and_decisions(self, traced_compile):
+        tracer, _ = traced_compile
+        text = CompileProfile.from_tracer(tracer).format()
+        assert "dbds" in text and "canonicalize" in text
+        assert "decisions" in text
+
+    def test_hottest_phases_sorted(self, traced_compile):
+        tracer, _ = traced_compile
+        profile = CompileProfile.from_tracer(tracer)
+        totals = [s.total for s in profile.hottest_phases(20)]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestMetricsWiring:
+    def test_unit_metrics_from_counters(self, traced_compile):
+        """candidates/duplications come from tracer counters now."""
+        tracer, report = traced_compile
+        assert sum(u.candidates for u in report.units) == tracer.counter(
+            "dbds.candidates"
+        )
+        assert sum(u.duplications for u in report.units) == tracer.counter(
+            "dbds.duplications"
+        )
+
+    def test_untraced_compiler_metrics_identical(self, traced_compile):
+        _, traced_report = traced_compile
+        program = compile_source(SOURCE)
+        plain_report = Compiler(DBDS).compile_program(program)
+        for traced_unit, plain_unit in zip(traced_report.units, plain_report.units):
+            assert traced_unit.candidates == plain_unit.candidates
+            assert traced_unit.duplications == plain_unit.duplications
+            assert traced_unit.code_size == plain_unit.code_size
+        assert plain_report.units[0].phase_times == {}
+
+    def test_backtracking_duplications_counted(self):
+        program = compile_source(SOURCE)
+        tracer = Tracer()
+        report = Compiler(
+            CONFIGURATIONS["backtracking"], tracer=tracer
+        ).compile_program(program)
+        assert report.total_duplications == tracer.counter("dbds.duplications")
+        phases = {e.attrs.get("phase") for e in tracer.spans("phase")}
+        assert "backtracking-duplication" in phases

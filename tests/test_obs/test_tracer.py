@@ -1,0 +1,129 @@
+"""Tests for the event/span tracer core."""
+
+import time
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Event,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+
+class TestSpans:
+    def test_span_records_duration_and_order(self):
+        tracer = Tracer()
+        with tracer.span("phase", phase="outer"):
+            time.sleep(0.001)
+        assert len(tracer.events) == 1
+        event = tracer.events[0]
+        assert event.kind == "span"
+        assert event.dur is not None and event.dur >= 0.001
+        assert event.attrs["phase"] == "outer"
+
+    def test_spans_nest_correctly(self):
+        tracer = Tracer()
+        with tracer.span("phase", phase="outer"):
+            with tracer.span("phase", phase="inner"):
+                tracer.event("leaf")
+            with tracer.span("phase", phase="second"):
+                pass
+        by_phase = {e.attrs.get("phase"): e for e in tracer.spans()}
+        assert by_phase["outer"].depth == 0
+        assert by_phase["inner"].depth == 1
+        assert by_phase["second"].depth == 1
+        leaf = tracer.named("leaf")[0]
+        assert leaf.depth == 2
+        # Start order preserved: outer first, then inner, then second.
+        names = [e.attrs.get("phase") for e in tracer.spans()]
+        assert names == ["outer", "inner", "second"]
+        # Inner spans close before the outer one.
+        outer, inner = by_phase["outer"], by_phase["inner"]
+        assert inner.ts >= outer.ts
+        assert inner.ts + inner.dur <= outer.ts + outer.dur + 1e-6
+
+    def test_span_yields_event_for_attrs(self):
+        tracer = Tracer()
+        with tracer.span("phase", phase="p") as event:
+            event.attrs["nodes_delta"] = 7
+        assert tracer.events[0].attrs["nodes_delta"] == 7
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("phase", phase="p"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert tracer.events[0].dur is not None
+        assert tracer._depth == 0
+
+
+class TestEventsAndCounters:
+    def test_point_event(self):
+        tracer = Tracer()
+        event = tracer.event("dbds.decision", accepted=True)
+        assert event in tracer.events
+        assert event.kind == "event" and event.dur is None
+
+    def test_counters_tally_even_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        tracer.count("dbds.duplications")
+        tracer.count("dbds.duplications", 2)
+        assert tracer.counter("dbds.duplications") == 3
+        assert tracer.counter("never") == 0
+
+    def test_disabled_tracer_records_no_events(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("phase", phase="p"):
+            tracer.event("x")
+        assert tracer.events == []
+
+
+class TestNullTracer:
+    def test_is_ambient_default(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_drops_everything(self):
+        tracer = NullTracer()
+        with tracer.span("phase", phase="p") as event:
+            event.attrs["ok"] = 1  # writable throwaway
+            tracer.event("x", a=1)
+            tracer.count("c")
+        assert tracer.events == []
+        assert tracer.counters == {}
+
+    def test_noop_overhead_negligible(self):
+        tracer = NULL_TRACER
+        start = time.perf_counter()
+        for _ in range(10_000):
+            with tracer.span("phase", phase="p"):
+                pass
+            tracer.count("c")
+        elapsed = time.perf_counter() - start
+        # Generous bound: 10k no-op spans must be far under a second.
+        assert elapsed < 0.5
+        assert tracer.events == [] and tracer.counters == {}
+
+
+class TestAmbientTracer:
+    def test_use_tracer_installs_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+            inner = Tracer()
+            with use_tracer(inner):
+                assert current_tracer() is inner
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_restored_after_exception(self):
+        tracer = Tracer()
+        try:
+            with use_tracer(tracer):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_tracer() is NULL_TRACER

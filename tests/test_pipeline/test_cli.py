@@ -87,6 +87,70 @@ class TestBench:
         assert "Geometric mean" in out
 
 
+class TestObservabilityFlags:
+    def test_compile_json(self, source_file, capsys):
+        import json
+
+        code = main(["compile", str(source_file), "--config", "dbds", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"] == "dbds"
+        assert {u["function"] for u in report["units"]} == {"foo", "main"}
+        assert report["totals"]["compile_time"] > 0
+
+    def test_compile_trace_out_valid_jsonl(self, source_file, tmp_path, capsys):
+        from repro.obs import read_jsonl, validate_trace_file
+
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            ["compile", str(source_file), "--config", "dbds", "--trace-out", str(out)]
+        )
+        assert code == 0
+        assert validate_trace_file(out) > 0
+        events = read_jsonl(out)
+        phases = {
+            e.attrs.get("phase") for e in events if e.name == "phase"
+        }
+        assert "dbds" in phases and "canonicalize" in phases
+        decisions = [e for e in events if e.name == "dbds.decision"]
+        assert decisions
+        assert all("benefit" in e.attrs for e in decisions)
+
+    def test_run_profile_compile(self, source_file, capsys):
+        code = main(["run", str(source_file), "--args", "20", "--profile-compile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "176" in out and "compile profile" in out
+
+    def test_trace_verb(self, source_file, tmp_path, capsys):
+        out = tmp_path / "t.jsonl"
+        code = main(
+            ["trace", str(source_file), "--decisions", "--out", str(out)]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "compile profile" in text and "DBDS decisions" in text
+        assert out.exists()
+
+    def test_bench_trace_out_json(self, tmp_path, capsys, monkeypatch):
+        import dataclasses
+        import json
+
+        import repro.bench.workloads.suites as suites
+
+        tiny = dataclasses.replace(
+            suites.MICRO, benchmark_names=suites.MICRO.benchmark_names[:1]
+        )
+        monkeypatch.setitem(suites.ALL_SUITES, "micro", tiny)
+        out = tmp_path / "suite.json"
+        code = main(["bench", "--suite", "micro", "--trace-out", str(out)])
+        assert code == 0
+        assert "Compile-time breakdown by phase" in capsys.readouterr().out
+        data = json.loads(out.read_text())
+        assert data["suite"] == "micro"
+        assert data["rows"][0]["configs"]["dbds"]["phase_times"]
+
+
 class TestArgparse:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
