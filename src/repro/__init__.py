@@ -17,6 +17,21 @@ Quick start::
 See README.md for the language reference and architecture overview.
 """
 
+from .analysis import (
+    CheckReport,
+    PhaseBlameError,
+    PhaseGuard,
+    Severity,
+    Violation,
+    all_checkers,
+    checker,
+    fuzz_translation,
+    run_checkers,
+    run_lir_checkers,
+    run_program_checkers,
+    use_guard,
+    validate_translation,
+)
 from .dbds.duplicate import DuplicationError, can_duplicate, duplicate_into
 from .dbds.phase import DbdsConfig, DbdsPhase, DbdsStats
 from .dbds.simulation import SimulationResult, SimulationTier
@@ -60,16 +75,19 @@ from .pipeline.config import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "apply_profile", "BACKTRACKING", "BASELINE", "build_program",
-    "can_duplicate", "CompilationReport", "compile_and_profile",
-    "CompileError", "compile_source", "CompileProfile", "Compiler",
-    "CompilerConfig", "CONFIGURATIONS", "current_tracer", "DBDS",
-    "DbdsConfig", "DbdsPhase", "DbdsStats", "DUPALOT", "duplicate_into",
-    "DuplicationError", "ExecutionResult", "Graph", "HeapArray",
-    "HeapObject", "Interpreter", "measure_performance",
-    "observable_outcome", "parse_module", "profile_program", "Program",
-    "read_jsonl", "should_duplicate", "SimulationResult",
+    "all_checkers", "apply_profile", "BACKTRACKING", "BASELINE",
+    "build_program", "can_duplicate", "checker", "CheckReport",
+    "CompilationReport", "compile_and_profile", "CompileError",
+    "compile_source", "CompileProfile", "Compiler", "CompilerConfig",
+    "CONFIGURATIONS", "current_tracer", "DBDS", "DbdsConfig",
+    "DbdsPhase", "DbdsStats", "DUPALOT", "duplicate_into",
+    "DuplicationError", "ExecutionResult", "fuzz_translation", "Graph",
+    "HeapArray", "HeapObject", "Interpreter", "measure_performance",
+    "observable_outcome", "parse_module", "PhaseBlameError",
+    "PhaseGuard", "profile_program", "Program", "read_jsonl",
+    "run_checkers", "run_lir_checkers", "run_program_checkers",
+    "Severity", "should_duplicate", "SimulationResult",
     "SimulationTier", "sort_candidates", "TradeOffConfig", "Tracer",
-    "UnitMetrics", "use_tracer", "verify_graph", "verify_program",
-    "write_jsonl",
+    "UnitMetrics", "use_guard", "use_tracer", "validate_translation",
+    "verify_graph", "verify_program", "Violation", "write_jsonl",
 ]

@@ -6,15 +6,21 @@ Usage::
     python -m repro compile program.mini --config dupalot --dump --json
     python -m repro trace program.mini --config dbds --out trace.jsonl
     python -m repro bench --suite micro --profile-compile
+    python -m repro check examples/ --check-ir=each-phase --fuzz 20
 
 ``run`` JIT-compiles (profile run + optimization) and executes, printing
 the result and the simulated cycle count.  ``compile`` prints per-unit
 metrics and optionally the optimized IR.  ``trace`` compiles under a
 recording tracer and prints the aggregated compile profile.  ``bench``
-regenerates one of the paper's evaluation figures.  ``run``,
+regenerates one of the paper's evaluation figures.  ``check`` runs the
+IR sanitizers (docs/ANALYSIS.md) over source files: checked compiles
+with phase-blame diagnostics, optional LIR checks, dynamic stamp
+checking, and translation-validation fuzzing.  ``run``,
 ``compile`` and ``bench`` all accept ``--trace-out FILE`` (write the
 JSONL event trace) and ``--profile-compile`` (print the per-phase
-profile); see docs/OBSERVABILITY.md.
+profile); see docs/OBSERVABILITY.md.  ``run`` and ``compile`` accept
+``--check-ir={off,boundaries,each-phase}`` plus
+``--fail-fast``/``--keep-going``.
 """
 
 from __future__ import annotations
@@ -24,12 +30,14 @@ import json
 import pathlib
 import sys
 
+from .analysis.blame import CHECK_EACH_PHASE, CHECK_MODES, CHECK_OFF, PhaseBlameError
 from .bench.harness import format_suite_report, run_suite, suite_report_json
 from .bench.workloads.suites import ALL_SUITES
 from .frontend.irbuilder import compile_source
 from .interp.interpreter import Interpreter
+from .interp.profile import apply_profile, profile_program
 from .obs import CompileProfile, Tracer, write_jsonl
-from .pipeline.compiler import Compiler, compile_and_profile, measure_performance
+from .pipeline.compiler import Compiler, measure_performance
 from .pipeline.config import CONFIGURATIONS
 
 
@@ -65,6 +73,57 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_check_flags(parser: argparse.ArgumentParser, default: str = CHECK_OFF) -> None:
+    parser.add_argument(
+        "--check-ir",
+        default=default,
+        choices=CHECK_MODES,
+        help="run the IR sanitizers while compiling (see docs/ANALYSIS.md)",
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--fail-fast",
+        dest="fail_fast",
+        action="store_true",
+        default=True,
+        help="stop at the first IR violation (default)",
+    )
+    group.add_argument(
+        "--keep-going",
+        dest="fail_fast",
+        action="store_false",
+        help="collect every IR violation in one pass instead of stopping",
+    )
+
+
+def _jit_compile(
+    source: str,
+    entry: str,
+    profile_args: list[list[int]],
+    config,
+    tracer: Tracer | None,
+    check_ir: str,
+    fail_fast: bool,
+):
+    """The ``compile_and_profile`` flow, keeping the compiler visible so
+    keep-going guard failures can be reported after the fact."""
+    program = compile_source(source)
+    collector = profile_program(program, entry, profile_args)
+    apply_profile(program, collector)
+    compiler = Compiler(config, tracer=tracer, check_ir=check_ir, fail_fast=fail_fast)
+    report = compiler.compile_program(program)
+    return program, report, compiler.guard
+
+
+def _report_guard_failures(guard) -> int:
+    """Print collected phase-blame diagnostics; returns how many."""
+    if guard is None:
+        return 0
+    for failure in guard.failures:
+        print(failure.format_blame(), file=sys.stderr)
+    return len(guard.failures)
+
+
 def _make_tracer(args: argparse.Namespace) -> Tracer | None:
     """An event-recording tracer when any telemetry output was asked."""
     if args.trace_out is not None or args.profile_compile:
@@ -86,9 +145,16 @@ def cmd_run(args: argparse.Namespace) -> int:
     source = args.source.read_text()
     config = CONFIGURATIONS[args.config]
     tracer = _make_tracer(args)
-    program, report = compile_and_profile(
-        source, args.entry, [args.args], config, tracer=tracer
-    )
+    try:
+        program, report, guard = _jit_compile(
+            source, args.entry, [args.args], config, tracer,
+            args.check_ir, args.fail_fast,
+        )
+    except PhaseBlameError as exc:
+        print(exc.format_blame(), file=sys.stderr)
+        return 1
+    if _report_guard_failures(guard):
+        return 1
     cycles, results = measure_performance(program, args.entry, [args.args])
     result = results[0]
     if result.trapped:
@@ -108,7 +174,16 @@ def cmd_compile(args: argparse.Namespace) -> int:
     config = CONFIGURATIONS[args.config]
     program = compile_source(source)
     tracer = _make_tracer(args)
-    report = Compiler(config, tracer=tracer).compile_program(program)
+    compiler = Compiler(
+        config, tracer=tracer, check_ir=args.check_ir, fail_fast=args.fail_fast
+    )
+    try:
+        report = compiler.compile_program(program)
+    except PhaseBlameError as exc:
+        print(exc.format_blame(), file=sys.stderr)
+        return 1
+    if _report_guard_failures(compiler.guard):
+        return 1
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
     else:
@@ -143,6 +218,99 @@ def cmd_trace(args: argparse.Namespace) -> int:
         records = write_jsonl(tracer, args.out)
         print(f"trace: {records} records -> {args.out}", file=sys.stderr)
     return 0
+
+
+def _collect_sources(paths: list[pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories into the list of .mini sources."""
+    files: list[pathlib.Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.mini")))
+        else:
+            files.append(path)
+    return files
+
+
+def _check_one_file(
+    path: pathlib.Path, args: argparse.Namespace, config, tracer: Tracer | None
+) -> int:
+    """Run every requested sanitizer over one source file; returns the
+    number of failures found (0 = clean)."""
+    from .analysis import check_stamp_dynamic, run_lir_checkers, run_program_checkers
+
+    failures = 0
+    source = path.read_text()
+    try:
+        program, _, guard = _jit_compile(
+            source, args.entry, [args.args], config, tracer,
+            args.check_ir, args.fail_fast,
+        )
+    except PhaseBlameError as exc:
+        print(f"{path}:", file=sys.stderr)
+        print(exc.format_blame(), file=sys.stderr)
+        return 1
+    failures += _report_guard_failures(guard)
+
+    # Whole-program sweep with every registered IR checker, keep-going.
+    for report in run_program_checkers(program, fail_fast=False):
+        for violation in report.errors():
+            print(f"{path}: {violation.format()}", file=sys.stderr)
+            failures += 1
+
+    if args.lir:
+        from .backend.lowering import lower_program
+        from .backend.regalloc import allocate_program
+
+        lir_program = lower_program(program)
+        reports = [run_lir_checkers(fn) for fn in lir_program.functions.values()]
+        allocations = allocate_program(lir_program)
+        reports.extend(
+            run_lir_checkers(fn, allocations[name])
+            for name, fn in lir_program.functions.items()
+        )
+        for report in reports:
+            for violation in report.errors():
+                print(f"{path}: {violation.format()}", file=sys.stderr)
+                failures += 1
+
+    if args.dynamic_stamps:
+        problems: list[str] = []
+
+        def observe(instruction, value) -> None:
+            message = check_stamp_dynamic(instruction, value)
+            if message is not None:
+                problems.append(message)
+
+        interpreter = Interpreter(program, observer=observe)
+        interpreter.run(args.entry, list(args.args))
+        for message in problems:
+            print(f"{path}: dynamic-stamp: {message}", file=sys.stderr)
+            failures += 1
+    return failures
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Checked compiles plus optional LIR/dynamic/fuzz validation."""
+    config = CONFIGURATIONS[args.config]
+    tracer = _make_tracer(args)
+    files = _collect_sources(args.paths or [pathlib.Path("examples")])
+    failures = 0
+    for path in files:
+        failures += _check_one_file(path, args, config, tracer)
+
+    if args.fuzz:
+        from .analysis import fuzz_translation
+
+        report = fuzz_translation(
+            seed=args.seed, programs=args.fuzz, time_budget=args.time_budget
+        )
+        print(report.format())
+        failures += len(report.divergences) + len(report.compile_failures)
+
+    _emit_observability(args, tracer)
+    status = "ok" if failures == 0 else f"{failures} failure(s)"
+    print(f"check: {len(files)} file(s), mode {args.check_ir}: {status}")
+    return 1 if failures else 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -218,11 +386,13 @@ def main(argv: list[str] | None = None) -> int:
     run_parser = sub.add_parser("run", help="JIT-compile and execute")
     _add_common(run_parser)
     _add_observability(run_parser)
+    _add_check_flags(run_parser)
     run_parser.set_defaults(func=cmd_run)
 
     compile_parser = sub.add_parser("compile", help="compile and show metrics")
     _add_common(compile_parser)
     _add_observability(compile_parser)
+    _add_check_flags(compile_parser)
     compile_parser.add_argument(
         "--dump", action="store_true", help="print the optimized IR"
     )
@@ -253,6 +423,58 @@ def main(argv: list[str] | None = None) -> int:
         help="also list every DBDS decision event",
     )
     trace_parser.set_defaults(func=cmd_trace)
+
+    check_parser = sub.add_parser(
+        "check", help="run the IR sanitizers over source files"
+    )
+    check_parser.add_argument(
+        "paths",
+        nargs="*",
+        type=pathlib.Path,
+        help="MiniLang files or directories (default: examples/)",
+    )
+    check_parser.add_argument("--entry", default="main", help="entry function")
+    check_parser.add_argument(
+        "--args",
+        nargs="*",
+        type=int,
+        default=[10],
+        help="integer arguments for profiling and dynamic runs",
+    )
+    check_parser.add_argument(
+        "--config",
+        default="dbds",
+        choices=sorted(CONFIGURATIONS),
+        help="compiler configuration",
+    )
+    _add_check_flags(check_parser, default=CHECK_EACH_PHASE)
+    check_parser.add_argument(
+        "--lir",
+        action="store_true",
+        help="also lower to LIR and run the LIR checkers (pre/post regalloc)",
+    )
+    check_parser.add_argument(
+        "--dynamic-stamps",
+        action="store_true",
+        help="interpret the optimized program and check every produced "
+        "value against its static stamp",
+    )
+    check_parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also translation-validate N generated programs",
+    )
+    check_parser.add_argument("--seed", type=int, default=0, help="fuzz seed")
+    check_parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        help="stop fuzzing after this many seconds",
+    )
+    _add_observability(check_parser)
+    check_parser.set_defaults(func=cmd_check)
 
     bench_parser = sub.add_parser("bench", help="run one evaluation suite")
     bench_parser.add_argument("--suite", default="micro", choices=sorted(ALL_SUITES))

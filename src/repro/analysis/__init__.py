@@ -1,0 +1,95 @@
+"""``repro.analysis`` — the pluggable static-analysis framework.
+
+A decorator-registered checker registry over the IR and LIR
+(:mod:`~repro.analysis.core`, :mod:`~repro.analysis.checkers`,
+:mod:`~repro.analysis.lir_checks`), per-phase invariant checking with
+phase-blame diagnostics (:mod:`~repro.analysis.blame`, wired into
+``Phase.run`` and the ``--check-ir`` pipeline modes), and a
+translation-validation harness (:mod:`~repro.analysis.validate`,
+behind ``repro check --fuzz``).  See ``docs/ANALYSIS.md``.
+
+Typical use::
+
+    from repro.analysis import run_checkers
+
+    report = run_checkers(graph)          # keep-going: all violations
+    for violation in report.errors():
+        print(violation.format())
+
+    from repro.analysis import PhaseGuard, use_guard
+
+    with use_guard(PhaseGuard("each-phase")):
+        DbdsPhase(program, config).run(graph)   # raises PhaseBlameError
+"""
+
+from .core import (
+    CheckReport,
+    Checker,
+    CheckerContext,
+    Severity,
+    Violation,
+    all_checkers,
+    checker,
+    get_checker,
+    run_checkers,
+    run_program_checkers,
+)
+from .checkers import (
+    CORE_CHECKERS,
+    STRUCTURAL_CHECKERS,
+    check_stamp_dynamic,
+    stamp_admits,
+)
+from .lir_checks import LirCheckerContext, run_lir_checkers
+from .blame import (
+    CHECK_BOUNDARIES,
+    CHECK_EACH_PHASE,
+    CHECK_MODES,
+    CHECK_OFF,
+    PhaseBlameError,
+    PhaseGuard,
+    current_guard,
+    use_guard,
+)
+from .validate import (
+    DivergenceRecord,
+    FuzzReport,
+    ValidationResult,
+    fuzz_translation,
+    validate_translation,
+)
+from .progen import ProgramGenerator, random_program
+
+__all__ = [
+    "CHECK_BOUNDARIES",
+    "CHECK_EACH_PHASE",
+    "CHECK_MODES",
+    "CHECK_OFF",
+    "CORE_CHECKERS",
+    "CheckReport",
+    "Checker",
+    "CheckerContext",
+    "DivergenceRecord",
+    "FuzzReport",
+    "LirCheckerContext",
+    "PhaseBlameError",
+    "PhaseGuard",
+    "ProgramGenerator",
+    "STRUCTURAL_CHECKERS",
+    "Severity",
+    "ValidationResult",
+    "Violation",
+    "all_checkers",
+    "check_stamp_dynamic",
+    "checker",
+    "current_guard",
+    "fuzz_translation",
+    "get_checker",
+    "random_program",
+    "run_checkers",
+    "run_lir_checkers",
+    "run_program_checkers",
+    "stamp_admits",
+    "use_guard",
+    "validate_translation",
+]

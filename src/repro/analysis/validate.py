@@ -1,0 +1,184 @@
+"""Translation validation: differential execution across configurations.
+
+The strongest correctness signal available for a duplication-based
+optimizer: compile the same source twice (DBDS off / DBDS on), run
+both through the reference interpreter on concrete inputs, and demand
+identical observable outcomes (return value or trap, plus the global
+state).  :func:`fuzz_translation` drives this with generated programs
+from :mod:`repro.analysis.progen`, which is how the ``repro check
+--fuzz`` verb and the CI fuzz job catch miscompiles that no static
+invariant can see.
+
+Pipeline imports are deferred into the functions: this module is part
+of :mod:`repro.analysis`, which the optimization framework itself
+imports for phase guarding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from .progen import random_program
+
+#: entry argument values used when the caller does not supply arg sets
+DEFAULT_ARG_VALUES = (0, 1, 2, 3, 7)
+
+
+@dataclass(frozen=True)
+class DivergenceRecord:
+    """One input on which two configurations disagreed."""
+
+    entry: str
+    args: tuple
+    config_a: str
+    config_b: str
+    outcome_a: tuple
+    outcome_b: tuple
+    #: generator seed when the program came from the fuzzer
+    seed: Optional[int] = None
+
+    def format(self) -> str:
+        where = f"{self.entry}({', '.join(map(repr, self.args))})"
+        source = f" [seed {self.seed}]" if self.seed is not None else ""
+        return (
+            f"{where}{source}: {self.config_a} -> {self.outcome_a!r} but "
+            f"{self.config_b} -> {self.outcome_b!r}"
+        )
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of validating one program across configurations."""
+
+    entry: str
+    configs: list[str] = field(default_factory=list)
+    runs: int = 0
+    divergences: list[DivergenceRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def _outcomes(program, entry: str, arg_sets: list[list[Any]]) -> list[tuple]:
+    from ..interp.interpreter import Interpreter, observable_outcome
+
+    interpreter = Interpreter(program)
+    results = []
+    for args in arg_sets:
+        interpreter.reset()
+        result = interpreter.run(entry, list(args))
+        results.append(observable_outcome(result, interpreter.state))
+    return results
+
+
+def validate_translation(
+    source: str,
+    entry: str = "main",
+    arg_sets: Optional[Iterable[Sequence[Any]]] = None,
+    configs: Optional[Sequence] = None,
+    seed: Optional[int] = None,
+) -> ValidationResult:
+    """Compile ``source`` under each configuration and compare runs.
+
+    The first configuration is the reference (defaults: baseline vs.
+    DBDS); every other configuration's observable outcomes must match
+    it on every argument set.
+    """
+    from ..pipeline.compiler import compile_and_profile
+    from ..pipeline.config import BASELINE, DBDS
+
+    if configs is None:
+        configs = (BASELINE, DBDS)
+    sets = [list(args) for args in (arg_sets or [[v] for v in DEFAULT_ARG_VALUES])]
+    result = ValidationResult(entry=entry, configs=[c.name for c in configs])
+
+    per_config: list[tuple[str, list[tuple]]] = []
+    for config in configs:
+        program, _ = compile_and_profile(source, entry, sets, config)
+        per_config.append((config.name, _outcomes(program, entry, sets)))
+        result.runs += len(sets)
+
+    reference_name, reference = per_config[0]
+    for name, outcomes in per_config[1:]:
+        for args, expected, actual in zip(sets, reference, outcomes):
+            if actual != expected:
+                result.divergences.append(
+                    DivergenceRecord(
+                        entry=entry,
+                        args=tuple(args),
+                        config_a=reference_name,
+                        config_b=name,
+                        outcome_a=expected,
+                        outcome_b=actual,
+                        seed=seed,
+                    )
+                )
+    return result
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one translation-validation fuzz session."""
+
+    programs: int = 0
+    runs: int = 0
+    elapsed: float = 0.0
+    divergences: list[DivergenceRecord] = field(default_factory=list)
+    #: seeds whose compilation itself crashed, with the error text
+    compile_failures: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.compile_failures
+
+    def format(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        lines = [
+            f"translation validation: {status} — {self.programs} programs, "
+            f"{self.runs} runs in {self.elapsed:.1f}s"
+        ]
+        for seed, message in self.compile_failures:
+            lines.append(f"  seed {seed}: compile error: {message}")
+        for record in self.divergences:
+            lines.append(f"  {record.format()}")
+        return "\n".join(lines)
+
+
+def fuzz_translation(
+    seed: int = 0,
+    programs: int = 20,
+    time_budget: Optional[float] = None,
+    configs: Optional[Sequence] = None,
+    arg_values: Sequence[int] = DEFAULT_ARG_VALUES,
+) -> FuzzReport:
+    """Validate ``programs`` generated programs starting at ``seed``.
+
+    A ``time_budget`` (seconds) bounds the session for CI: generation
+    stops early once the budget is spent, however many programs ran.
+    """
+    report = FuzzReport()
+    start = time.perf_counter()
+    arg_sets = [[value] for value in arg_values]
+    for index in range(programs):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            break
+        program_seed = seed + index
+        source = random_program(program_seed)
+        try:
+            result = validate_translation(
+                source, "main", arg_sets, configs, seed=program_seed
+            )
+        except Exception as exc:  # compile crash: also a fuzz finding
+            report.compile_failures.append(
+                (program_seed, f"{type(exc).__name__}: {exc}")
+            )
+            report.programs += 1
+            continue
+        report.programs += 1
+        report.runs += result.runs
+        report.divergences.extend(result.divergences)
+    report.elapsed = time.perf_counter() - start
+    return report

@@ -110,6 +110,7 @@ class Interpreter:
         terminator_cost: Optional[Callable[[Any], float]] = None,
         profile: Optional["ProfileCollector"] = None,
         max_call_depth: int = 200,
+        observer: Optional[Callable[[Instruction, Any], None]] = None,
     ) -> None:
         self.program = program
         self.max_steps = max_steps
@@ -117,6 +118,9 @@ class Interpreter:
         self.terminator_cost = terminator_cost
         self.profile = profile
         self.max_call_depth = max_call_depth
+        #: called with (instruction, produced value) after every
+        #: execution step — the hook dynamic stamp checking plugs into
+        self.observer = observer
         self._call_depth = 0
         self.state = InterpreterState()
         self._init_globals()
@@ -170,6 +174,8 @@ class Interpreter:
             for instruction in block.instructions:
                 self._step()
                 env[instruction] = self._execute(instruction, env)
+                if self.observer is not None:
+                    self.observer(instruction, env[instruction])
                 if self.cycle_cost is not None:
                     self.state.cycles += self.cycle_cost(instruction)
             terminator = block.terminator
@@ -207,6 +213,8 @@ class Interpreter:
         values = [self._value_of(phi.input(index), env) for phi in block.phis]
         for phi, value in zip(block.phis, values):
             env[phi] = value
+            if self.observer is not None:
+                self.observer(phi, value)
             if self.cycle_cost is not None:
                 self.state.cycles += self.cycle_cost(phi)
 

@@ -1,165 +1,63 @@
-"""Structural and SSA verifier.
+"""Structural and SSA verifier — compatibility shim.
 
-Run between phases (and inside tests) to catch broken invariants as
-close to their origin as possible.  Raises :class:`VerificationError`
-with a description of the first violated property.
+The checks themselves now live in the pluggable registry of
+:mod:`repro.analysis` (see ``docs/ANALYSIS.md``); this module keeps the
+historical fail-fast API that phases and tests call between rewrites.
+Message texts are unchanged: :func:`verify_graph` raises
+:class:`VerificationError` describing the first violated property, and
+:func:`verify_program` names the failing function.
+
+The analysis package import is deferred into the functions because
+``repro.ir.__init__`` re-exports this module while the analysis
+package itself is built on ``repro.ir``.
 """
 
 from __future__ import annotations
 
-from .block import Block
-from .cfgutils import reachable_blocks
-from .dominators import DominatorTree
+from typing import Optional
+
 from .graph import Graph
-from .nodes import Constant, Goto, If, Instruction, Parameter, Phi, Terminator, Value
 
 
 class VerificationError(Exception):
-    """An IR invariant does not hold."""
+    """An IR invariant does not hold.
 
+    ``function`` names the graph that failed (always set by
+    :func:`verify_graph`/:func:`verify_program`).
+    """
 
-def _fail(graph: Graph, message: str) -> None:
-    raise VerificationError(f"{graph.name}: {message}")
+    def __init__(self, message: str, function: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.function = function
 
 
 def verify_graph(graph: Graph, check_dominance: bool = True) -> None:
     """Verify all structural invariants of one function graph."""
-    reachable = reachable_blocks(graph)
+    from ..analysis import (
+        CORE_CHECKERS,
+        STRUCTURAL_CHECKERS,
+        run_checkers,
+    )
 
-    if graph.entry.predecessors:
-        _fail(graph, "entry block has predecessors")
-
-    block_set = set(graph.blocks)
-    for block in graph.blocks:
-        _verify_block_structure(graph, block, block_set)
-
-    for block in reachable:
-        _verify_edges(graph, block)
-        _verify_phis(graph, block)
-
-    if check_dominance:
-        _verify_ssa_dominance(graph, reachable)
-
-
-def _verify_block_structure(graph: Graph, block: Block, block_set: set) -> None:
-    if block.terminator is None:
-        _fail(graph, f"{block.name} has no terminator")
-    if block.terminator.block is not block:
-        _fail(graph, f"terminator of {block.name} has wrong block link")
-    for target in block.terminator.targets:
-        if target not in block_set:
-            _fail(graph, f"{block.name} targets removed block {target.name}")
-    term = block.terminator
-    if isinstance(term, If):
-        if term.true_target is term.false_target:
-            _fail(graph, f"If in {block.name} has identical targets")
-        if not (0.0 <= term.true_probability <= 1.0):
-            _fail(graph, f"If in {block.name} has probability {term.true_probability}")
-    for ins in block.instructions:
-        if ins.block is not block:
-            _fail(graph, f"{ins!r} in {block.name} has wrong block link")
-        if isinstance(ins, Phi):
-            _fail(graph, f"phi {ins!r} stored in instruction list of {block.name}")
-    for phi in block.phis:
-        if phi.block is not block:
-            _fail(graph, f"{phi!r} in {block.name} has wrong block link")
-
-
-def _verify_edges(graph: Graph, block: Block) -> None:
-    # Every successor must list this block as predecessor exactly once
-    # per edge (targets are distinct, so once).
-    for succ in block.successors:
-        count = sum(1 for p in succ.predecessors if p is block)
-        if count != 1:
-            _fail(
-                graph,
-                f"edge {block.name}->{succ.name} recorded {count} times in predecessors",
-            )
-    for pred in block.predecessors:
-        if block not in pred.successors:
-            _fail(graph, f"{pred.name} listed as predecessor of {block.name} but has no such edge")
-    # Critical-edge invariant: predecessors of merges end in Goto.
-    if block.is_merge():
-        for pred in block.predecessors:
-            if not isinstance(pred.terminator, Goto):
-                _fail(
-                    graph,
-                    f"merge {block.name} has non-Goto predecessor {pred.name} "
-                    "(critical edge not split)",
-                )
-
-
-def _verify_phis(graph: Graph, block: Block) -> None:
-    for phi in block.phis:
-        if len(phi.inputs) != len(block.predecessors):
-            _fail(
-                graph,
-                f"{phi!r} has {len(phi.inputs)} inputs but {block.name} has "
-                f"{len(block.predecessors)} predecessors",
-            )
-
-
-def _users_are_consistent(value: Value, user=None) -> bool:
-    for recorded_user, count in value.uses.items():
-        actual = sum(1 for v in recorded_user.inputs if v is value)
-        if actual != count:
-            return False
-    if user is not None:
-        # The reverse direction: this user's operand slots must be
-        # reflected in the value's use map (a cleared map is corrupt).
-        actual = sum(1 for v in user.inputs if v is value)
-        if value.uses.get(user, 0) != actual:
-            return False
-    return True
-
-
-def _verify_ssa_dominance(graph: Graph, reachable: set) -> None:
-    dom = DominatorTree(graph)
-    position: dict[Instruction, int] = {}
-    for block in reachable:
-        for i, ins in enumerate(block.instructions):
-            position[ins] = i
-
-    def check_use(user, operand: Value, use_block: Block, user_desc: str) -> None:
-        if isinstance(operand, (Constant, Parameter)):
-            return
-        if not isinstance(operand, Instruction):
-            _fail(graph, f"{user_desc} uses non-instruction {operand!r}")
-        def_block = operand.block
-        if def_block is None or def_block not in reachable:
-            _fail(graph, f"{user_desc} uses {operand!r} from removed/unreachable block")
-        if not _users_are_consistent(operand, user):
-            _fail(graph, f"use-count bookkeeping broken for {operand!r}")
-        if def_block is use_block:
-            if isinstance(operand, Phi):
-                return  # phis precede all instructions of the block
-            if isinstance(user, (Terminator, Phi)):
-                # Terminators come last; a phi input is consumed at the
-                # *end* of the predecessor block — both see every def.
-                return
-            if position[operand] >= position.get(user, 1 << 30):
-                _fail(graph, f"{user_desc} uses {operand!r} before its definition")
-            return
-        if not dom.dominates(def_block, use_block):
-            _fail(
-                graph,
-                f"{user_desc} in {use_block.name} uses {operand!r} defined in "
-                f"{def_block.name} which does not dominate it",
-            )
-
-    for block in reachable:
-        for phi in block.phis:
-            for slot, operand in enumerate(phi.inputs):
-                pred = block.predecessors[slot]
-                check_use(phi, operand, pred, f"{phi!r} (input {slot})")
-        for ins in block.instructions:
-            for operand in ins.inputs:
-                check_use(ins, operand, block, repr(ins))
-        for operand in block.terminator.inputs:
-            check_use(block.terminator, operand, block, f"terminator of {block.name}")
+    names = CORE_CHECKERS if check_dominance else STRUCTURAL_CHECKERS
+    report = run_checkers(graph, checkers=names, fail_fast=True)
+    errors = report.errors()
+    if errors:
+        raise VerificationError(
+            f"{graph.name}: {errors[0].message}", function=graph.name
+        )
 
 
 def verify_program(program) -> None:
-    """Verify all functions of a program."""
-    for graph in program.functions.values():
-        verify_graph(graph)
+    """Verify all functions of a program.
+
+    The raised :class:`VerificationError` names the failing function
+    both in its message and in its ``function`` attribute.
+    """
+    for name, graph in program.functions.items():
+        try:
+            verify_graph(graph)
+        except VerificationError as exc:
+            raise VerificationError(
+                f"in function {name!r}: {exc}", function=name
+            ) from None

@@ -35,6 +35,12 @@ DECISION_REQUIRED_ATTRS = (
 #: attrs every ``dbds.candidate`` event must carry
 CANDIDATE_REQUIRED_ATTRS = ("graph", "merge", "pred", "benefit", "cost", "probability")
 
+#: attrs every ``analysis.violation`` event must carry
+VIOLATION_REQUIRED_ATTRS = ("phase", "graph", "checker", "severity", "message")
+
+#: attrs every ``analysis.blame`` event must carry
+BLAME_REQUIRED_ATTRS = ("phase", "graph", "violations")
+
 #: the counter-table trailer record's name
 COUNTERS_RECORD = "counters"
 
@@ -153,6 +159,14 @@ def validate_record(record: dict[str, Any]) -> list[str]:
         for key in CANDIDATE_REQUIRED_ATTRS:
             if key not in attrs:
                 problems.append(f"dbds.candidate missing attr {key!r}")
+    elif name == "analysis.violation":
+        for key in VIOLATION_REQUIRED_ATTRS:
+            if key not in attrs:
+                problems.append(f"analysis.violation missing attr {key!r}")
+    elif name == "analysis.blame":
+        for key in BLAME_REQUIRED_ATTRS:
+            if key not in attrs:
+                problems.append(f"analysis.blame missing attr {key!r}")
     elif name == "phase" and kind == KIND_SPAN and "phase" not in attrs:
         problems.append("phase span missing attr 'phase'")
     return problems

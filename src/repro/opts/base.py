@@ -25,6 +25,7 @@ import functools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..analysis.blame import current_guard
 from ..costmodel.estimator import graph_code_size
 from ..costmodel.model import cycles_of, size_of
 from ..ir.graph import Graph
@@ -36,24 +37,39 @@ from ..obs.tracer import current_tracer
 def _traced_run(run):
     """Wrap a phase's ``run`` so the ambient tracer sees every
     invocation as a ``phase`` span with wall time plus the node-count
-    and code-size deltas the phase caused.
+    and code-size deltas the phase caused, and so the ambient
+    :class:`~repro.analysis.blame.PhaseGuard` (``--check-ir=each-phase``)
+    can verify IR invariants around the phase and blame it on failure.
 
     With the default :data:`~repro.obs.tracer.NULL_TRACER` (or any
-    disabled tracer) this is one attribute check on top of the call —
-    the deltas are only computed when a trace is being recorded.
+    disabled tracer) and no installed guard this is two attribute
+    checks on top of the call — deltas and snapshots are only computed
+    when a trace or a guard is active.
     """
 
     @functools.wraps(run)
     def traced(self, graph, *args, **kwargs):
         tracer = current_tracer()
+        guard = current_guard()
+        if guard is not None and guard.per_phase:
+            snapshot = guard.before_phase(self.name, graph)
+        else:
+            guard = None
         if not tracer.enabled:
-            return run(self, graph, *args, **kwargs)
+            result = run(self, graph, *args, **kwargs)
+            if guard is not None:
+                guard.after_phase(self.name, graph, snapshot)
+            return result
         nodes_before = graph.instruction_count()
         size_before = graph_code_size(graph)
         with tracer.span("phase", phase=self.name, graph=graph.name) as span:
             result = run(self, graph, *args, **kwargs)
             span.attrs["nodes_delta"] = graph.instruction_count() - nodes_before
             span.attrs["size_delta"] = graph_code_size(graph) - size_before
+        # Checked outside the span so phase times stay phase times; the
+        # guard accounts its own cost as an ``ir-check`` span.
+        if guard is not None:
+            guard.after_phase(self.name, graph, snapshot)
         return result
 
     traced._obs_traced = True

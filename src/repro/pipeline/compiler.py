@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
+from ..analysis.blame import CHECK_OFF, PhaseGuard, use_guard
 from ..costmodel.estimator import graph_code_size
 from ..costmodel.model import cycles_of
 from ..dbds.backtracking import BacktrackingDuplication
@@ -138,15 +139,28 @@ class Compiler:
     By default a counting-only tracer is used, which keeps overhead at
     one flag check per phase while still feeding the ``dbds.*``
     counters that :class:`UnitMetrics` is wired from.
+
+    ``check_ir`` selects the IR sanitizer mode (``--check-ir``): ``off``
+    (default), ``boundaries`` (pipeline entry/exit only), or
+    ``each-phase`` (around every optimization phase, with phase-blame
+    diagnostics).  ``fail_fast=False`` collects every violation instead
+    of raising :class:`~repro.analysis.PhaseBlameError` on the first.
     """
 
     def __init__(
         self,
         config: CompilerConfig = BASELINE,
         tracer: Optional[Tracer] = None,
+        check_ir: str = CHECK_OFF,
+        fail_fast: bool = True,
     ) -> None:
         self.config = config
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.guard: Optional[PhaseGuard] = (
+            PhaseGuard(mode=check_ir, fail_fast=fail_fast)
+            if check_ir != CHECK_OFF
+            else None
+        )
 
     # ------------------------------------------------------------------
     def compile_program(self, program: Program) -> CompilationReport:
@@ -158,7 +172,10 @@ class Compiler:
 
     def compile_function(self, program: Program, name: str) -> UnitMetrics:
         with use_tracer(self.tracer):
-            return self._compile_function(program, name)
+            if self.guard is None:
+                return self._compile_function(program, name)
+            with use_guard(self.guard):
+                return self._compile_function(program, name)
 
     def _compile_function(self, program: Program, name: str) -> UnitMetrics:
         tracer = self.tracer
@@ -169,6 +186,8 @@ class Compiler:
         span_start = len(tracer.events)
         with tracer.span("compile", function=name, config=self.config.name):
             start = time.perf_counter()
+            if self.guard is not None:
+                self.guard.check_boundary("pipeline-entry", graph)
 
             if self.config.enable_inlining:
                 InliningPhase(program).run(graph)
@@ -190,10 +209,16 @@ class Compiler:
                     program.functions[name] = new_graph
                     graph = new_graph
                 tracer.count("dbds.duplications", backtracker.stats.kept)
+                # Backtracking swaps whole graphs rather than running as
+                # a Phase, so the per-phase guard hook never sees it.
+                if self.guard is not None and self.guard.per_phase:
+                    self.guard.check_boundary("backtracking", graph)
             elif self.config.enable_dbds:
                 DbdsPhase(program, self.config.dbds_config()).run(graph)
 
             self._cleanup_phases(program, graph)
+            if self.guard is not None:
+                self.guard.check_boundary("pipeline-exit", graph)
             metrics.compile_time = time.perf_counter() - start
 
         metrics.duplications = (
@@ -234,17 +259,21 @@ def compile_and_profile(
     profile_args: Iterable[list[Any]],
     config: CompilerConfig = BASELINE,
     tracer: Optional[Tracer] = None,
+    check_ir: str = CHECK_OFF,
+    fail_fast: bool = True,
 ) -> tuple[Program, CompilationReport]:
     """Front-end + profiling run + optimizing compilation.
 
     This is the full JIT story in one call: parse, collect a profile by
     interpreting the unoptimized program, feed the profile to the
-    compiler, optimize.  Pass a ``tracer`` to record the compilation.
+    compiler, optimize.  Pass a ``tracer`` to record the compilation,
+    a ``check_ir`` mode to run the IR sanitizers while compiling.
     """
     program = compile_source(source)
     collector = profile_program(program, entry, profile_args)
     apply_profile(program, collector)
-    report = Compiler(config, tracer=tracer).compile_program(program)
+    compiler = Compiler(config, tracer=tracer, check_ir=check_ir, fail_fast=fail_fast)
+    report = compiler.compile_program(program)
     return program, report
 
 

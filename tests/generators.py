@@ -1,178 +1,7 @@
-"""Random MiniLang program generator for differential testing.
+"""Compatibility shim: the generator moved into the package so the
+``repro check --fuzz`` CLI and the translation-validation harness can
+use it (see :mod:`repro.analysis.progen`)."""
 
-Generates syntactically valid, always-terminating programs that mix all
-language features (ints, bools, objects, arrays, globals, calls,
-branches, bounded loops) and may trap (division by zero, null
-dereference, out-of-bounds) — traps are part of the observable outcome
-the configurations must agree on.
-"""
+from repro.analysis.progen import ProgramGenerator, random_program
 
-from __future__ import annotations
-
-import random
-
-
-class ProgramGenerator:
-    def __init__(self, seed: int) -> None:
-        self.rng = random.Random(seed)
-        self.fresh = 0
-
-    def name(self, prefix: str) -> str:
-        self.fresh += 1
-        return f"{prefix}{self.fresh}"
-
-    # ------------------------------------------------------------------
-    # Expressions
-    # ------------------------------------------------------------------
-    def int_expr(self, vars_: list[str], depth: int) -> str:
-        rng = self.rng
-        if depth <= 0 or rng.random() < 0.3:
-            if vars_ and rng.random() < 0.7:
-                return rng.choice(vars_)
-            return str(rng.randint(-20, 100))
-        kind = rng.random()
-        if kind < 0.75:
-            op = rng.choice(["+", "-", "*", "&", "|", "^"])
-            return (
-                f"({self.int_expr(vars_, depth - 1)} {op} "
-                f"{self.int_expr(vars_, depth - 1)})"
-            )
-        if kind < 0.85:
-            # Division/modulo: may trap, which is intentional.
-            op = rng.choice(["/", "%"])
-            return (
-                f"({self.int_expr(vars_, depth - 1)} {op} "
-                f"{self.int_expr(vars_, depth - 1)})"
-            )
-        op = rng.choice(["<<", ">>"])
-        return f"({self.int_expr(vars_, depth - 1)} {op} {self.rng.randint(0, 5)})"
-
-    def bool_expr(self, vars_: list[str], depth: int) -> str:
-        rng = self.rng
-        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
-        left = self.int_expr(vars_, depth - 1)
-        right = self.int_expr(vars_, depth - 1)
-        base = f"({left} {op} {right})"
-        if depth > 1 and rng.random() < 0.3:
-            joiner = rng.choice(["&&", "||"])
-            other = self.bool_expr(vars_, depth - 1)
-            return f"({base} {joiner} {other})"
-        if rng.random() < 0.15:
-            return f"(!{base})"
-        return base
-
-    # ------------------------------------------------------------------
-    # Statements
-    # ------------------------------------------------------------------
-    def statements(self, vars_: list[str], depth: int, budget: int) -> list[str]:
-        rng = self.rng
-        out: list[str] = []
-        count = rng.randint(1, max(1, budget))
-        for _ in range(count):
-            kind = rng.random()
-            if kind < 0.3 or not vars_:
-                var = self.name("v")
-                out.append(f"var {var}: int = {self.int_expr(vars_, 2)};")
-                vars_.append(var)
-            elif kind < 0.55:
-                # Induction variables (i-prefixed) are reserved: loops
-                # must terminate.
-                writable = [v for v in vars_ if not v.startswith("i")]
-                if not writable:
-                    continue
-                target = rng.choice(writable)
-                out.append(f"{target} = {self.int_expr(vars_, 2)};")
-            elif kind < 0.8 and depth > 0:
-                cond = self.bool_expr(vars_, 2)
-                then_body = self.indent(
-                    self.statements(list(vars_), depth - 1, budget - 1)
-                )
-                if rng.random() < 0.6:
-                    else_body = self.indent(
-                        self.statements(list(vars_), depth - 1, budget - 1)
-                    )
-                    out.append(
-                        f"if ({cond}) {{\n{then_body}\n}} else {{\n{else_body}\n}}"
-                    )
-                else:
-                    out.append(f"if ({cond}) {{\n{then_body}\n}}")
-            elif kind < 0.9 and depth > 0:
-                # Canonical bounded loop; the induction variable is
-                # reserved (never reassigned by the body).
-                i = self.name("i")
-                bound = rng.randint(1, 6)
-                body_vars = list(vars_) + [i]
-                body = self.indent(self.statements(body_vars, depth - 1, budget - 1))
-                out.append(
-                    f"var {i}: int = 0;\n"
-                    f"while ({i} < {bound}) {{\n{body}\n  {i} = {i} + 1;\n}}"
-                )
-            else:
-                out.append(f"g = g + {rng.choice(vars_)};")
-        return out
-
-    @staticmethod
-    def indent(statements: list[str]) -> str:
-        lines = []
-        for stmt in statements:
-            for line in stmt.split("\n"):
-                lines.append("  " + line)
-        return "\n".join(lines) if lines else "  g = g + 0;"
-
-    # ------------------------------------------------------------------
-    def helper(self, index: int) -> str:
-        vars_ = ["x", "y"]
-        # Object/array flavour in some helpers (chosen before the body
-        # is generated so declared variables match the emitted code).
-        flavour = self.rng.random()
-        prologue = ""
-        if flavour < 0.35:
-            prologue = (
-                f"  var box: D = new D {{ a = x, b = {self.rng.randint(0, 9)} }};\n"
-                f"  var bv: int = box.a + box.b;\n"
-            )
-            vars_.append("bv")
-            body = self.statements(vars_, depth=1, budget=3)
-        elif flavour < 0.55:
-            size = self.rng.randint(1, 5)
-            prologue = (
-                f"  var arr: int[] = new int[{size}];\n"
-                f"  arr[{self.rng.randint(0, size - 1)}] = x;\n"
-                f"  var av: int = arr[{self.rng.randint(0, size)}];\n"
-            )
-            vars_.append("av")
-            body = self.statements(vars_, depth=1, budget=3)
-        else:
-            body = self.statements(vars_, depth=2, budget=4)
-        stmts = "\n".join("  " + line for s in body for line in s.split("\n"))
-        ret = self.int_expr(vars_, 2)
-        return (
-            f"fn h{index}(x: int, y: int) -> int {{\n"
-            f"{prologue}{stmts}\n  return {ret};\n}}\n"
-        )
-
-    def generate(self) -> str:
-        helper_count = self.rng.randint(1, 3)
-        helpers = "".join(self.helper(i) for i in range(helper_count))
-        calls = " + ".join(
-            f"h{i}(k, acc)" for i in range(helper_count)
-        )
-        return (
-            "class D { a: int; b: int; }\n"
-            "global g: int;\n"
-            f"{helpers}"
-            "fn main(n: int) -> int {\n"
-            "  var acc: int = 0;\n"
-            "  var k: int = 0;\n"
-            "  while (k < n) {\n"
-            f"    acc = acc + {calls};\n"
-            "    k = k + 1;\n"
-            "  }\n"
-            "  return acc + g;\n"
-            "}\n"
-        )
-
-
-def random_program(seed: int) -> str:
-    """A deterministic random program for the given seed."""
-    return ProgramGenerator(seed).generate()
+__all__ = ["ProgramGenerator", "random_program"]

@@ -1,0 +1,171 @@
+"""One targeted corruption per checker.
+
+Each test breaks exactly one invariant and asserts that the checker
+owning it — and only that checker — reports an error, which is what
+makes phase-blame diagnostics name the right property.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import run_checkers, stamp_admits, check_stamp_dynamic
+from repro.frontend.irbuilder import compile_source
+from repro.ir import (
+    ArithOp,
+    BinOp,
+    CmpOp,
+    Compare,
+    Goto,
+    Graph,
+    If,
+    INT,
+    Phi,
+    Return,
+)
+from repro.ir.loops import LoopForest
+from repro.ir.stamps import BoolStamp, IntStamp, ObjectStamp
+
+from tests.helpers import build_diamond
+
+
+def erroring_checkers(graph) -> tuple[set, object]:
+    report = run_checkers(graph)
+    return {v.checker for v in report.errors()}, report
+
+
+# ----------------------------------------------------------------------
+# One corruption per checker
+# ----------------------------------------------------------------------
+def test_block_structure_flags_bad_probability(diamond):
+    diamond["graph"].entry.terminator.true_probability = 1.5
+    fired, report = erroring_checkers(diamond["graph"])
+    assert fired == {"block-structure"}
+    assert "probability 1.5" in report.errors()[0].message
+
+
+def test_edge_consistency_flags_desynced_predecessor_lists(diamond):
+    # Retarget the true branch behind the edge bookkeeping's back.
+    diamond["true_block"].terminator._targets[0] = diamond["true_block"]
+    fired, report = erroring_checkers(diamond["graph"])
+    assert fired == {"edge-consistency"}
+    messages = " ".join(v.message for v in report.errors())
+    assert "recorded 0 times" in messages or "no such edge" in messages
+
+
+def test_phi_inputs_flags_dropped_input(diamond):
+    diamond["phi"]._remove_input_at(1)
+    fired, report = erroring_checkers(diamond["graph"])
+    assert fired == {"phi-inputs"}
+    assert "has 1 inputs but m has 2 predecessors" in report.errors()[0].message
+
+
+def _ordered_diamond():
+    """A diamond whose phi input is only valid for one specific slot."""
+    g = Graph("ordered", [("x", INT)], INT)
+    x = g.parameters[0]
+    bt, bf, bm = g.new_block("t"), g.new_block("f"), g.new_block("m")
+    cond = g.entry.append(Compare(CmpOp.GT, x, g.const_int(0)))
+    g.entry.set_terminator(If(cond, bt, bf, 0.5))
+    doubled = bt.append(ArithOp(BinOp.MUL, x, g.const_int(2)))
+    bt.set_terminator(Goto(bm))
+    bf.set_terminator(Goto(bm))
+    phi = Phi(bm, INT, [doubled, g.const_int(0)])
+    bm.add_phi(phi)
+    bm.set_terminator(Return(phi))
+    return g, bm
+
+
+def test_phi_ordering_flags_misordered_predecessors():
+    graph, merge = _ordered_diamond()
+    assert run_checkers(graph).ok
+    merge.predecessors.reverse()
+    fired, report = erroring_checkers(graph)
+    assert fired == {"phi-ordering"}
+    assert "does not dominate" in report.errors()[0].message
+
+
+def test_ssa_dominance_flags_def_that_stopped_dominating(diamond):
+    # Move the add from the merge into the true branch: its phi operand
+    # no longer dominates it, and the Return's operand sinks with it.
+    add, merge, bt = diamond["add"], diamond["merge"], diamond["true_block"]
+    merge.instructions.remove(add)
+    add.block = bt
+    bt.instructions.append(add)
+    fired, report = erroring_checkers(diamond["graph"])
+    assert fired == {"ssa-dominance"}
+    assert any("does not dominate" in v.message for v in report.errors())
+
+
+def test_use_lists_flags_broken_bookkeeping(diamond):
+    diamond["phi"].uses.clear()
+    fired, report = erroring_checkers(diamond["graph"])
+    assert fired == {"use-lists"}
+    assert "bookkeeping broken" in report.errors()[0].message
+
+
+def test_stamp_soundness_flags_narrowed_stamp(diamond):
+    # The add's operands prove a full 64-bit range; a narrow declared
+    # stamp is an unsound narrowing no phase could have produced.
+    diamond["add"].stamp = IntStamp(0, 3)
+    fired, report = erroring_checkers(diamond["graph"])
+    assert fired == {"stamp-soundness"}
+    assert "does not cover" in report.errors()[0].message
+
+
+def test_loop_structure_flags_irreducible_cycle():
+    g = Graph("irr", [("x", INT)], INT)
+    x = g.parameters[0]
+    sa, sb = g.new_block("sa"), g.new_block("sb")
+    a, b = g.new_block("a"), g.new_block("b")
+    cond = g.entry.append(Compare(CmpOp.GT, x, g.const_int(0)))
+    g.entry.set_terminator(If(cond, sa, sb, 0.5))
+    sa.set_terminator(Goto(a))
+    sb.set_terminator(Goto(b))
+    a.set_terminator(Goto(b))
+    b.set_terminator(Goto(a))  # two-entry cycle: not a natural loop
+    fired, report = erroring_checkers(g)
+    assert fired == {"loop-structure"}
+    assert "irreducible" in report.errors()[0].message
+
+
+LOOP_SOURCE = """
+fn main(n: int) -> int {
+  var i: int = 0;
+  var s: int = 0;
+  while (i < n) {
+    s = s + i;
+    i = i + 1;
+  }
+  return s;
+}
+"""
+
+
+def test_block_frequency_flags_negative_trip_count():
+    graph = compile_source(LOOP_SOURCE).function("main")
+    assert run_checkers(graph).ok
+    header = LoopForest(graph).loops[0].header
+    header.profile_trip_count = -3.0
+    fired, report = erroring_checkers(graph)
+    assert fired == {"block-frequency"}
+    assert "invalid trip count" in report.errors()[0].message
+
+
+# ----------------------------------------------------------------------
+# Dynamic stamp checking helpers
+# ----------------------------------------------------------------------
+def test_stamp_admits():
+    assert stamp_admits(IntStamp(0, 10), 5)
+    assert not stamp_admits(IntStamp(0, 10), 11)
+    assert not stamp_admits(IntStamp(0, 10), True)  # bools are not ints
+    assert stamp_admits(BoolStamp(can_be_true=True, can_be_false=False), True)
+    assert not stamp_admits(BoolStamp(can_be_true=False, can_be_false=True), True)
+    assert stamp_admits(ObjectStamp(type=None), None)
+    assert not stamp_admits(ObjectStamp(type=None, non_null=True), None)
+
+
+def test_check_stamp_dynamic_reports_out_of_range_value(diamond):
+    add = diamond["add"]
+    add.stamp = IntStamp(0, 3)
+    assert check_stamp_dynamic(add, 2) is None
+    message = check_stamp_dynamic(add, 99)
+    assert message is not None and "outside its declared stamp" in message

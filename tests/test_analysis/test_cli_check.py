@@ -1,0 +1,62 @@
+"""CLI tests for the ``repro check`` verb and the --check-ir flags."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.__main__ import main
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+NQUEENS = EXAMPLES / "apps" / "nqueens.mini"
+
+
+def test_check_single_file_each_phase(capsys):
+    assert main(["check", str(NQUEENS), "--args", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "check: 1 file(s), mode each-phase: ok" in out
+
+
+def test_check_directory_recurses(capsys):
+    assert main(["check", str(EXAMPLES), "--args", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "check: 3 file(s)" in out
+
+
+def test_check_boundaries_keep_going(capsys):
+    code = main(
+        ["check", str(NQUEENS), "--check-ir=boundaries", "--keep-going",
+         "--args", "4"]
+    )
+    assert code == 0
+
+
+def test_check_with_lir_and_dynamic_stamps(capsys):
+    code = main(
+        ["check", str(NQUEENS), "--lir", "--dynamic-stamps", "--args", "4"]
+    )
+    assert code == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_check_fuzz(capsys):
+    code = main(
+        ["check", str(NQUEENS), "--args", "4", "--fuzz", "2", "--seed", "11"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "translation validation: ok" in out
+
+
+def test_run_accepts_check_ir(capsys):
+    code = main(
+        ["run", str(NQUEENS), "--args", "5", "--check-ir=each-phase"]
+    )
+    assert code == 0
+    assert "result" in capsys.readouterr().out
+
+
+def test_compile_accepts_check_ir(capsys):
+    code = main(
+        ["compile", str(NQUEENS), "--check-ir=boundaries", "--keep-going"]
+    )
+    assert code == 0

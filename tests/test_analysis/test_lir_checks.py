@@ -1,0 +1,107 @@
+"""LIR checker tests: clean lowered code plus one corruption each."""
+
+from __future__ import annotations
+
+from repro.analysis import run_lir_checkers
+from repro.backend.lir import LirMove, PReg, StackSlot, fresh_vreg
+from repro.backend.liveness import LiveInterval
+from repro.backend.lowering import lower_program
+from repro.backend.regalloc import AllocationResult, allocate
+from repro.frontend.irbuilder import compile_source
+
+SOURCE = """
+fn main(n: int) -> int {
+  var s: int = 0;
+  var i: int = 0;
+  while (i < n) {
+    if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+    i = i + 1;
+  }
+  return s;
+}
+"""
+
+
+def lowered():
+    return lower_program(compile_source(SOURCE)).function("main")
+
+
+def erroring_checkers(function, allocation=None):
+    report = run_lir_checkers(function, allocation)
+    return {v.checker for v in report.errors()}, report
+
+
+def test_clean_function_passes_before_and_after_allocation():
+    function = lowered()
+    assert run_lir_checkers(function).ok
+    result = allocate(function)
+    assert run_lir_checkers(function, result).ok
+
+
+def test_lir_structure_flags_bogus_successor():
+    function = lowered()
+    block = function.blocks[function.entry]
+    block.successors.append(999)
+    fired, report = erroring_checkers(function)
+    assert fired == {"lir-structure"}
+    messages = " ".join(v.message for v in report.errors())
+    assert "L999" in messages
+
+
+def test_lir_liveness_flags_undefined_vreg():
+    function = lowered()
+    ghost = fresh_vreg("ghost")
+    entry = function.blocks[function.entry]
+    entry.instructions.insert(0, LirMove(fresh_vreg("dst"), ghost))
+    fired, report = erroring_checkers(function)
+    assert fired == {"lir-liveness"}
+    assert "used but never defined" in report.errors()[0].message
+
+
+def test_lir_allocation_flags_unmapped_interval():
+    function = lowered()
+    result = allocate(function)
+    victim = next(iter(result.mapping))
+    del result.mapping[victim]
+    fired, report = erroring_checkers(function, result)
+    assert fired == {"lir-allocation"}
+    assert "no allocated location" in report.errors()[0].message
+
+
+def test_lir_allocation_flags_overlapping_intervals_sharing_a_register():
+    function = lowered()
+    a, b = fresh_vreg("a"), fresh_vreg("b")
+    result = AllocationResult(
+        mapping={a: PReg(0), b: PReg(0)},
+        intervals=[LiveInterval(a, 0, 10), LiveInterval(b, 5, 15)],
+    )
+    # Only exercise the allocation checker: the fabricated result does
+    # not correspond to the function's own (still virtual) operands.
+    report = run_lir_checkers(function, result, checkers=["lir-allocation"])
+    assert any("share register r0" in v.message for v in report.errors())
+
+
+def test_lir_allocation_flags_leftover_vreg_after_allocation():
+    function = lowered()
+    result = allocate(function)
+    leftover = fresh_vreg("leftover")
+    exit_block = function.blocks[function.entry]
+    exit_block.instructions.insert(0, LirMove(PReg(0), leftover))
+    fired, report = erroring_checkers(function, result)
+    assert "lir-allocation" in fired
+    assert any(
+        "unallocated virtual register" in v.message for v in report.errors()
+    )
+
+
+def test_lir_allocation_flags_mixed_operands_before_allocation():
+    function = lowered()
+    block = function.blocks[function.entry]
+    moves = [i for i in block.instructions if isinstance(i, LirMove)]
+    if not moves:
+        block.instructions.insert(0, LirMove(fresh_vreg("d"), fresh_vreg("s")))
+        moves = [block.instructions[0]]
+    moves[0].src = StackSlot(0)
+    fired, report = erroring_checkers(function)
+    assert "lir-allocation" in fired
+    assert any("mixes virtual and allocated" in v.message for v in report.errors())

@@ -1,0 +1,79 @@
+"""Translation-validation tests: real runs plus divergence detection."""
+
+from __future__ import annotations
+
+import repro.analysis.validate as validate_mod
+from repro.analysis import fuzz_translation, validate_translation
+from repro.pipeline.config import BASELINE, DBDS, DUPALOT
+
+SOURCE = """
+fn main(n: int) -> int {
+  var s: int = 0;
+  var i: int = 0;
+  while (i < n) {
+    if (i % 3 == 0) { s = s + i * 2; } else { s = s - 1; }
+    i = i + 1;
+  }
+  return s;
+}
+"""
+
+
+def test_validate_translation_agrees_on_real_program():
+    result = validate_translation(SOURCE, "main", arg_sets=[[0], [5], [12]])
+    assert result.ok
+    assert result.configs == ["baseline", "dbds"]
+    assert result.runs == 6  # 3 arg sets x 2 configs
+
+
+def test_validate_translation_accepts_custom_configs():
+    result = validate_translation(
+        SOURCE, "main", arg_sets=[[4]], configs=(BASELINE, DBDS, DUPALOT)
+    )
+    assert result.ok
+    assert result.configs == ["baseline", "dbds", "dupalot"]
+
+
+def test_divergence_is_reported_against_the_reference(monkeypatch):
+    outcomes = {"baseline": [(10, None, ())], "dbds": [(11, None, ())]}
+
+    def fake_compile(source, entry, sets, config):
+        return config.name, None
+
+    monkeypatch.setattr(validate_mod, "_outcomes", lambda p, e, s: outcomes[p])
+    import repro.pipeline.compiler as compiler_mod
+
+    monkeypatch.setattr(compiler_mod, "compile_and_profile", fake_compile)
+    result = validate_translation(SOURCE, "main", arg_sets=[[3]], seed=42)
+    assert not result.ok
+    record = result.divergences[0]
+    assert record.config_a == "baseline" and record.config_b == "dbds"
+    assert record.args == (3,)
+    assert record.seed == 42
+    assert "seed 42" in record.format()
+    assert "baseline" in record.format() and "dbds" in record.format()
+
+
+def test_fuzz_translation_smoke():
+    report = fuzz_translation(seed=1, programs=3)
+    assert report.ok, report.format()
+    assert report.programs == 3
+    assert report.runs == 3 * 2 * len(validate_mod.DEFAULT_ARG_VALUES)
+    assert "translation validation: ok" in report.format()
+
+
+def test_fuzz_translation_honours_time_budget():
+    report = fuzz_translation(seed=0, programs=1000, time_budget=0.0)
+    assert report.programs == 0
+
+
+def test_fuzz_translation_records_compile_crashes(monkeypatch):
+    def broken(*args, **kwargs):
+        raise RuntimeError("synthetic compiler crash")
+
+    monkeypatch.setattr(validate_mod, "validate_translation", broken)
+    report = fuzz_translation(seed=7, programs=2)
+    assert not report.ok
+    assert len(report.compile_failures) == 2
+    assert report.compile_failures[0][0] == 7
+    assert "synthetic compiler crash" in report.format()
