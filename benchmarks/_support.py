@@ -9,9 +9,13 @@ stable location.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: artifact cache shared by benchmark reruns (opt-in via env var)
+CACHE_DIR = RESULTS_DIR / ".cache"
 
 
 def record_figure(name: str, text: str) -> None:
@@ -20,3 +24,19 @@ def record_figure(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def bench_cache():
+    """The benchmarks' shared :class:`~repro.pipeline.cache.ArtifactCache`.
+
+    Opt-in: set ``REPRO_BENCH_CACHE=1`` to reuse compilation artifacts
+    across benchmark reruns (pass the result as ``run_suite(...,
+    cache=bench_cache())``).  Off by default so published compile-time
+    figures always reflect cold compiles.
+    """
+    if os.environ.get("REPRO_BENCH_CACHE", "") not in ("1", "true", "yes"):
+        return None
+    from repro.pipeline.cache import ArtifactCache
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return ArtifactCache(CACHE_DIR)

@@ -12,7 +12,7 @@ Shape checks: a clearly positive mean speedup with standout individual
 benchmarks, bought with extra compilation time.
 """
 
-from _support import record_figure
+from _support import bench_cache, record_figure
 
 from repro.bench.harness import run_suite
 from repro.bench.stats import format_percent, geometric_mean
@@ -20,7 +20,11 @@ from repro.bench.workloads.suites import ALL_SUITES
 
 
 def _run_all():
-    return {name: run_suite(profile) for name, profile in ALL_SUITES.items()}
+    cache = bench_cache()  # warm reruns opt in via REPRO_BENCH_CACHE=1
+    return {
+        name: run_suite(profile, cache=cache)
+        for name, profile in ALL_SUITES.items()
+    }
 
 
 def test_headline_means(benchmark):

@@ -22,9 +22,11 @@ from .analysis import (
     PhaseBlameError,
     PhaseGuard,
     Severity,
+    SourceMutator,
     Violation,
     all_checkers,
     checker,
+    fuzz_mutations,
     fuzz_translation,
     run_checkers,
     run_lir_checkers,
@@ -56,6 +58,21 @@ from .obs import (
     use_tracer,
     write_jsonl,
 )
+from .pipeline.batch import (
+    BatchOptions,
+    BatchReport,
+    FileResult,
+    compile_batch,
+)
+from .pipeline.cache import (
+    ArtifactCache,
+    CacheEntry,
+    CacheStats,
+    artifact_manifest,
+    cache_key,
+    config_fingerprint,
+    make_entry,
+)
 from .pipeline.compiler import (
     CompilationReport,
     Compiler,
@@ -75,19 +92,23 @@ from .pipeline.config import (
 __version__ = "1.0.0"
 
 __all__ = [
-    "all_checkers", "apply_profile", "BACKTRACKING", "BASELINE",
-    "build_program", "can_duplicate", "checker", "CheckReport",
-    "CompilationReport", "compile_and_profile", "CompileError",
+    "all_checkers", "apply_profile", "ArtifactCache", "BACKTRACKING",
+    "BASELINE", "BatchOptions", "BatchReport", "build_program",
+    "cache_key", "can_duplicate", "checker", "CheckReport",
+    "CacheEntry", "CacheStats", "CompilationReport",
+    "compile_and_profile", "compile_batch", "CompileError",
     "compile_source", "CompileProfile", "Compiler", "CompilerConfig",
-    "CONFIGURATIONS", "current_tracer", "DBDS", "DbdsConfig",
-    "DbdsPhase", "DbdsStats", "DUPALOT", "duplicate_into",
-    "DuplicationError", "ExecutionResult", "fuzz_translation", "Graph",
-    "HeapArray", "HeapObject", "Interpreter", "measure_performance",
-    "observable_outcome", "parse_module", "PhaseBlameError",
-    "PhaseGuard", "profile_program", "Program", "read_jsonl",
-    "run_checkers", "run_lir_checkers", "run_program_checkers",
-    "Severity", "should_duplicate", "SimulationResult",
-    "SimulationTier", "sort_candidates", "TradeOffConfig", "Tracer",
-    "UnitMetrics", "use_guard", "use_tracer", "validate_translation",
-    "verify_graph", "verify_program", "Violation", "write_jsonl",
+    "CONFIGURATIONS", "config_fingerprint", "current_tracer", "DBDS",
+    "DbdsConfig", "DbdsPhase", "DbdsStats", "DUPALOT",
+    "duplicate_into", "DuplicationError", "ExecutionResult",
+    "FileResult", "fuzz_mutations", "fuzz_translation", "Graph",
+    "HeapArray", "HeapObject", "Interpreter", "make_entry",
+    "artifact_manifest", "measure_performance", "observable_outcome",
+    "parse_module", "PhaseBlameError", "PhaseGuard", "profile_program",
+    "Program", "read_jsonl", "run_checkers", "run_lir_checkers",
+    "run_program_checkers", "Severity", "should_duplicate",
+    "SimulationResult", "SimulationTier", "sort_candidates",
+    "SourceMutator", "TradeOffConfig", "Tracer", "UnitMetrics",
+    "use_guard", "use_tracer", "validate_translation", "verify_graph",
+    "verify_program", "Violation", "write_jsonl",
 ]

@@ -37,8 +37,13 @@ from .frontend.irbuilder import compile_source
 from .interp.interpreter import Interpreter
 from .interp.profile import apply_profile, profile_program
 from .obs import CompileProfile, Tracer, write_jsonl
+from .pipeline.batch import BatchOptions, compile_batch
+from .pipeline.cache import ArtifactCache, cache_key, make_entry
 from .pipeline.compiler import Compiler, measure_performance
 from .pipeline.config import CONFIGURATIONS
+
+#: default on-disk cache location of the ``batch`` verb
+DEFAULT_CACHE_DIR = pathlib.Path(".repro-cache")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -96,6 +101,39 @@ def _add_check_flags(parser: argparse.ArgumentParser, default: str = CHECK_OFF) 
     )
 
 
+def _add_cache_flags(
+    parser: argparse.ArgumentParser, default_dir: pathlib.Path | None = None
+) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=default_dir,
+        help="persistent artifact-cache directory"
+        + (" (default: %(default)s)" if default_dir else " (default: no cache)"),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="compile from scratch, ignore and do not write the cache",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print hit/miss/store/evict tallies after the command",
+    )
+
+
+def _make_cache(args: argparse.Namespace) -> ArtifactCache | None:
+    if args.no_cache or args.cache_dir is None:
+        return None
+    return ArtifactCache(args.cache_dir)
+
+
+def _emit_cache_stats(args: argparse.Namespace, cache: ArtifactCache | None) -> None:
+    if cache is not None and args.cache_stats:
+        print(cache.stats.format(), file=sys.stderr)
+
+
 def _jit_compile(
     source: str,
     entry: str,
@@ -145,16 +183,42 @@ def cmd_run(args: argparse.Namespace) -> int:
     source = args.source.read_text()
     config = CONFIGURATIONS[args.config]
     tracer = _make_tracer(args)
-    try:
-        program, report, guard = _jit_compile(
-            source, args.entry, [args.args], config, tracer,
-            args.check_ir, args.fail_fast,
+    cache = _make_cache(args)
+    cached = None
+    key = None
+    if cache is not None:
+        key = cache_key(
+            source, config, entry=args.entry,
+            profile_args=[args.args], check_ir=args.check_ir,
         )
-    except PhaseBlameError as exc:
-        print(exc.format_blame(), file=sys.stderr)
-        return 1
-    if _report_guard_failures(guard):
-        return 1
+        cached = cache.get(key, tracer)
+    if cached is not None:
+        program, report = cached.program(), cached.report
+    else:
+        # Compile under a recording tracer even without telemetry flags
+        # when caching: the stored artifact keeps its decision trace.
+        compile_tracer = tracer if tracer is not None else (
+            Tracer() if cache is not None else None
+        )
+        try:
+            program, report, guard = _jit_compile(
+                source, args.entry, [args.args], config, compile_tracer,
+                args.check_ir, args.fail_fast,
+            )
+        except PhaseBlameError as exc:
+            print(exc.format_blame(), file=sys.stderr)
+            return 1
+        if _report_guard_failures(guard):
+            return 1
+        if cache is not None:
+            cache.put(
+                make_entry(
+                    key, program, report,
+                    events=compile_tracer.events,
+                    counters=compile_tracer.counters,
+                ),
+                tracer,
+            )
     cycles, results = measure_performance(program, args.entry, [args.args])
     result = results[0]
     if result.trapped:
@@ -165,7 +229,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"compile time    : {report.total_compile_time * 1e3:.2f} ms")
     print(f"code size       : {report.total_code_size:.0f}")
     print(f"duplications    : {report.total_duplications}")
+    if cached is not None:
+        print("compiled from   : cache", file=sys.stderr)
     _emit_observability(args, tracer)
+    _emit_cache_stats(args, cache)
     return 0
 
 
@@ -232,17 +299,35 @@ def _collect_sources(paths: list[pathlib.Path]) -> list[pathlib.Path]:
 
 
 def _check_one_file(
-    path: pathlib.Path, args: argparse.Namespace, config, tracer: Tracer | None
+    path: pathlib.Path,
+    args: argparse.Namespace,
+    config,
+    tracer: Tracer | None,
+    cache: ArtifactCache | None = None,
 ) -> int:
     """Run every requested sanitizer over one source file; returns the
     number of failures found (0 = clean)."""
-    from .analysis import check_stamp_dynamic, run_lir_checkers, run_program_checkers
-
     failures = 0
     source = path.read_text()
+    key = None
+    if cache is not None:
+        key = cache_key(
+            source, config, entry=args.entry,
+            profile_args=[args.args], check_ir=args.check_ir,
+        )
+        cached = cache.get(key, tracer)
+        if cached is not None:
+            # Entries are only written for clean checked compiles, so a
+            # hit skips the pipeline (and its guards) entirely; the
+            # whole-program sweeps below still run on the rehydrated IR.
+            program = cached.program()
+            return _check_program_sweeps(path, args, program)
+    compile_tracer = tracer if tracer is not None else (
+        Tracer() if cache is not None else None
+    )
     try:
-        program, _, guard = _jit_compile(
-            source, args.entry, [args.args], config, tracer,
+        program, report, guard = _jit_compile(
+            source, args.entry, [args.args], config, compile_tracer,
             args.check_ir, args.fail_fast,
         )
     except PhaseBlameError as exc:
@@ -250,7 +335,26 @@ def _check_one_file(
         print(exc.format_blame(), file=sys.stderr)
         return 1
     failures += _report_guard_failures(guard)
+    if cache is not None and failures == 0:
+        cache.put(
+            make_entry(
+                key, program, report,
+                events=compile_tracer.events,
+                counters=compile_tracer.counters,
+            ),
+            tracer,
+        )
+    return failures + _check_program_sweeps(path, args, program)
 
+
+def _check_program_sweeps(
+    path: pathlib.Path, args: argparse.Namespace, program
+) -> int:
+    """The post-compile sweeps: registered IR checkers plus optional
+    LIR and dynamic-stamp validation; returns the failure count."""
+    from .analysis import check_stamp_dynamic, run_lir_checkers, run_program_checkers
+
+    failures = 0
     # Whole-program sweep with every registered IR checker, keep-going.
     for report in run_program_checkers(program, fail_fast=False):
         for violation in report.errors():
@@ -293,10 +397,11 @@ def cmd_check(args: argparse.Namespace) -> int:
     """Checked compiles plus optional LIR/dynamic/fuzz validation."""
     config = CONFIGURATIONS[args.config]
     tracer = _make_tracer(args)
+    cache = _make_cache(args)
     files = _collect_sources(args.paths or [pathlib.Path("examples")])
     failures = 0
     for path in files:
-        failures += _check_one_file(path, args, config, tracer)
+        failures += _check_one_file(path, args, config, tracer, cache)
 
     if args.fuzz:
         from .analysis import fuzz_translation
@@ -307,20 +412,70 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(report.format())
         failures += len(report.divergences) + len(report.compile_failures)
 
+    if args.fuzz_mutations:
+        from .analysis import fuzz_mutations
+
+        corpus = [path.read_text() for path in files]
+        report = fuzz_mutations(
+            seed=args.seed,
+            programs=args.fuzz_mutations,
+            time_budget=args.time_budget,
+            corpus=corpus,
+        )
+        print(report.format())
+        failures += len(report.divergences) + len(report.compile_failures)
+
     _emit_observability(args, tracer)
+    _emit_cache_stats(args, cache)
     status = "ok" if failures == 0 else f"{failures} failure(s)"
     print(f"check: {len(files)} file(s), mode {args.check_ir}: {status}")
     return 1 if failures else 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Parallel batch compilation with the persistent artifact cache."""
+    config = CONFIGURATIONS[args.config]
+    tracer = _make_tracer(args)
+    cache = _make_cache(args)
+    files = _collect_sources(args.paths or [pathlib.Path("examples")])
+    if not files:
+        print("batch: no .mini sources found", file=sys.stderr)
+        return 1
+    options = BatchOptions(
+        config=config,
+        jobs=args.jobs,
+        entry=args.entry,
+        args=tuple(args.args),
+        check_ir=args.check_ir,
+        fail_fast=args.fail_fast,
+        cache=cache,
+    )
+    report = compile_batch(files, options, tracer=tracer)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.format())
+    if args.profile_compile:
+        print(report.profile().format())
+    if tracer is not None and args.trace_out is not None:
+        records = write_jsonl(tracer.events + report.events(), args.trace_out)
+        print(f"trace: {records} records -> {args.trace_out}", file=sys.stderr)
+    _emit_cache_stats(args, cache)
+    return 0 if report.ok else 1
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     profile = ALL_SUITES[args.suite]
     profile_phases = args.profile_compile or args.trace_out is not None
-    report = run_suite(profile, seed=args.seed, profile_phases=profile_phases)
+    cache = _make_cache(args)
+    report = run_suite(
+        profile, seed=args.seed, profile_phases=profile_phases, cache=cache
+    )
     print(format_suite_report(report))
     if args.trace_out is not None:
         args.trace_out.write_text(json.dumps(suite_report_json(report), indent=2))
         print(f"suite report -> {args.trace_out}", file=sys.stderr)
+    _emit_cache_stats(args, cache)
     return 0
 
 
@@ -387,7 +542,46 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(run_parser)
     _add_observability(run_parser)
     _add_check_flags(run_parser)
+    _add_cache_flags(run_parser)
     run_parser.set_defaults(func=cmd_run)
+
+    batch_parser = sub.add_parser(
+        "batch", help="compile many files in parallel, artifact-cached"
+    )
+    batch_parser.add_argument(
+        "paths",
+        nargs="*",
+        type=pathlib.Path,
+        help="MiniLang files or directories (default: examples/)",
+    )
+    batch_parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: os.cpu_count(); 1 = no pool)",
+    )
+    batch_parser.add_argument("--entry", default="main", help="entry function")
+    batch_parser.add_argument(
+        "--args",
+        nargs="*",
+        type=int,
+        default=[10],
+        help="integer arguments for the profiling run",
+    )
+    batch_parser.add_argument(
+        "--config",
+        default="dbds",
+        choices=sorted(CONFIGURATIONS),
+        help="compiler configuration",
+    )
+    batch_parser.add_argument(
+        "--json", action="store_true", help="print the batch report as JSON"
+    )
+    _add_check_flags(batch_parser)
+    _add_cache_flags(batch_parser, default_dir=DEFAULT_CACHE_DIR)
+    _add_observability(batch_parser)
+    batch_parser.set_defaults(func=cmd_batch)
 
     compile_parser = sub.add_parser("compile", help="compile and show metrics")
     _add_common(compile_parser)
@@ -468,18 +662,28 @@ def main(argv: list[str] | None = None) -> int:
     )
     check_parser.add_argument("--seed", type=int, default=0, help="fuzz seed")
     check_parser.add_argument(
+        "--fuzz-mutations",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also translation-validate N mutants of the checked sources "
+        "(template-extraction-style fuzzing; see docs/ANALYSIS.md)",
+    )
+    check_parser.add_argument(
         "--time-budget",
         type=float,
         default=None,
         help="stop fuzzing after this many seconds",
     )
     _add_observability(check_parser)
+    _add_cache_flags(check_parser)
     check_parser.set_defaults(func=cmd_check)
 
     bench_parser = sub.add_parser("bench", help="run one evaluation suite")
     bench_parser.add_argument("--suite", default="micro", choices=sorted(ALL_SUITES))
     bench_parser.add_argument("--seed", type=int, default=0)
     _add_observability(bench_parser)
+    _add_cache_flags(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)
 
     evaluate_parser = sub.add_parser(

@@ -55,10 +55,18 @@ from .validate import (
     DivergenceRecord,
     FuzzReport,
     ValidationResult,
+    fuzz_mutations,
     fuzz_translation,
     validate_translation,
 )
-from .progen import ProgramGenerator, random_program
+from .progen import (
+    MUTATION_KINDS,
+    MutatedProgram,
+    ProgramGenerator,
+    SourceMutator,
+    mutated_program,
+    random_program,
+)
 
 __all__ = [
     "CHECK_BOUNDARIES",
@@ -72,19 +80,24 @@ __all__ = [
     "DivergenceRecord",
     "FuzzReport",
     "LirCheckerContext",
+    "MUTATION_KINDS",
+    "MutatedProgram",
     "PhaseBlameError",
     "PhaseGuard",
     "ProgramGenerator",
     "STRUCTURAL_CHECKERS",
     "Severity",
+    "SourceMutator",
     "ValidationResult",
     "Violation",
     "all_checkers",
     "check_stamp_dynamic",
     "checker",
     "current_guard",
+    "fuzz_mutations",
     "fuzz_translation",
     "get_checker",
+    "mutated_program",
     "random_program",
     "run_checkers",
     "run_lir_checkers",

@@ -20,10 +20,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
-from .progen import random_program
+from .progen import mutated_program, random_program
 
 #: entry argument values used when the caller does not supply arg sets
 DEFAULT_ARG_VALUES = (0, 1, 2, 3, 7)
+
+#: interpreter step budget used to screen mutants before differential
+#: runs (a flipped branch can change how much work a program does)
+SCREEN_STEP_BUDGET = 500_000
 
 
 @dataclass(frozen=True)
@@ -129,6 +133,8 @@ class FuzzReport:
     divergences: list[DivergenceRecord] = field(default_factory=list)
     #: seeds whose compilation itself crashed, with the error text
     compile_failures: list[tuple[int, str]] = field(default_factory=list)
+    #: mutants screened out (step-budget / recursion blowups), not failures
+    skipped: int = 0
 
     @property
     def ok(self) -> bool:
@@ -136,9 +142,10 @@ class FuzzReport:
 
     def format(self) -> str:
         status = "ok" if self.ok else "FAILED"
+        skipped = f", {self.skipped} skipped" if self.skipped else ""
         lines = [
             f"translation validation: {status} — {self.programs} programs, "
-            f"{self.runs} runs in {self.elapsed:.1f}s"
+            f"{self.runs} runs in {self.elapsed:.1f}s{skipped}"
         ]
         for seed, message in self.compile_failures:
             lines.append(f"  seed {seed}: compile error: {message}")
@@ -178,6 +185,82 @@ def fuzz_translation(
             report.programs += 1
             continue
         report.programs += 1
+        report.runs += result.runs
+        report.divergences.extend(result.divergences)
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+# ----------------------------------------------------------------------
+# Mutation-based fuzzing over real programs
+# ----------------------------------------------------------------------
+def _screen_mutant(
+    source: str, entry: str, arg_sets: list[list[Any]], max_steps: int
+) -> bool:
+    """True when the unoptimized mutant terminates within the step
+    budget on every argument set (traps count as terminating)."""
+    from ..frontend.irbuilder import compile_source
+    from ..interp.interpreter import BudgetExceeded, Interpreter
+
+    program = compile_source(source)
+    interpreter = Interpreter(program, max_steps=max_steps)
+    for args in arg_sets:
+        interpreter.reset()
+        try:
+            interpreter.run(entry, list(args))
+        except (BudgetExceeded, RecursionError):
+            return False
+    return True
+
+
+def fuzz_mutations(
+    seed: int = 0,
+    programs: int = 20,
+    time_budget: Optional[float] = None,
+    configs: Optional[Sequence] = None,
+    corpus: Optional[Sequence[str]] = None,
+    arg_values: Sequence[int] = DEFAULT_ARG_VALUES,
+    mutations: int = 2,
+    screen_steps: int = SCREEN_STEP_BUDGET,
+) -> FuzzReport:
+    """Translation-validate ``programs`` mutants of real sources.
+
+    Template-extraction-style fuzzing: each seed picks a program from
+    ``corpus`` (e.g. the ``examples/apps`` sources — ``repro check
+    --fuzz-mutations`` passes the checked files) and applies up to
+    ``mutations`` operators from :mod:`repro.analysis.progen` (swap
+    constants, flip ``if`` comparisons, wrap loop bodies).  Without a
+    corpus, generated programs are mutated instead.
+
+    Mutants whose *unoptimized* run exceeds ``screen_steps``
+    interpreter steps (a flipped guard can unbound recursion or
+    inflate a workload) are counted as ``skipped``, not failures —
+    differential comparison needs both sides to terminate.  A
+    ``time_budget`` (seconds) bounds the session for CI.
+    """
+    report = FuzzReport()
+    start = time.perf_counter()
+    corpus = list(corpus) if corpus else None
+    arg_sets = [[value] for value in arg_values]
+    for index in range(programs):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            break
+        mutant_seed = seed + index
+        mutant = mutated_program(mutant_seed, corpus, mutations=mutations)
+        label = f"{mutant.base}: {', '.join(mutant.applied) or 'unchanged'}"
+        report.programs += 1
+        try:
+            if not _screen_mutant(mutant.source, "main", arg_sets, screen_steps):
+                report.skipped += 1
+                continue
+            result = validate_translation(
+                mutant.source, "main", arg_sets, configs, seed=mutant_seed
+            )
+        except Exception as exc:  # compile crash: also a fuzz finding
+            report.compile_failures.append(
+                (mutant_seed, f"[{label}] {type(exc).__name__}: {exc}")
+            )
+            continue
         report.runs += result.runs
         report.divergences.extend(result.divergences)
     report.elapsed = time.perf_counter() - start

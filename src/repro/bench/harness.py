@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional
 
 from ..obs.tracer import Tracer
+from ..pipeline.cache import ArtifactCache, cache_key, make_entry
 from ..pipeline.compiler import compile_and_profile, measure_performance
 from ..pipeline.config import BASELINE, CompilerConfig, DBDS, DUPALOT
 from .stats import format_percent, geometric_mean, speedup_percent
@@ -110,6 +111,7 @@ def measure_workload(
     workload: Workload,
     config: CompilerConfig,
     profile_phases: bool = False,
+    cache: Optional[ArtifactCache] = None,
 ) -> Measurement:
     """Compile under ``config`` and run the measured workload.
 
@@ -117,13 +119,37 @@ def measure_workload(
     fills ``Measurement.phase_times`` — it adds tracing overhead to the
     compile-time numbers (equally for every configuration), so it is
     off by default.
+
+    With a ``cache``, compilation is served from the artifact cache
+    when warm (the stored report keeps the original cold-compile
+    timings, so normalized compile-time columns stay meaningful) and
+    stored into it when cold.  Cached compiles always record their
+    trace so the stored artifact carries its decision events.
     """
-    tracer = Tracer() if profile_phases else None
     wall_start = time.perf_counter()
-    program, report = compile_and_profile(
-        workload.source, workload.entry, workload.profile_args, config,
-        tracer=tracer,
-    )
+    key = None
+    cached = None
+    if cache is not None:
+        key = cache_key(
+            workload.source, config,
+            entry=workload.entry, profile_args=workload.profile_args,
+        )
+        cached = cache.get(key)
+    if cached is not None:
+        program, report = cached.program(), cached.report
+    else:
+        tracer = Tracer() if (profile_phases or cache is not None) else None
+        program, report = compile_and_profile(
+            workload.source, workload.entry, workload.profile_args, config,
+            tracer=tracer,
+        )
+        if cache is not None:
+            cache.put(
+                make_entry(
+                    key, program, report,
+                    events=tracer.events, counters=tracer.counters,
+                )
+            )
     cycles, results = measure_performance(
         program, workload.entry, workload.measure_args
     )
@@ -152,17 +178,18 @@ def run_suite(
     seed: int = 0,
     workloads: Optional[list[Workload]] = None,
     profile_phases: bool = False,
+    cache: Optional[ArtifactCache] = None,
 ) -> SuiteReport:
     """Measure a whole suite under baseline + the given configurations."""
     configs = list(configs) if configs is not None else [DBDS, DUPALOT]
     workloads = workloads if workloads is not None else generate_suite(profile, seed)
     report = SuiteReport(suite=profile.suite, config_names=[c.name for c in configs])
     for workload in workloads:
-        baseline = measure_workload(workload, BASELINE, profile_phases)
+        baseline = measure_workload(workload, BASELINE, profile_phases, cache)
         row = BenchmarkRow(workload=workload.name, baseline=baseline)
         for config in configs:
             row.configs[config.name] = measure_workload(
-                workload, config, profile_phases
+                workload, config, profile_phases, cache
             )
         report.rows.append(row)
     return report

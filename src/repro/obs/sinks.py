@@ -41,6 +41,15 @@ VIOLATION_REQUIRED_ATTRS = ("phase", "graph", "checker", "severity", "message")
 #: attrs every ``analysis.blame`` event must carry
 BLAME_REQUIRED_ATTRS = ("phase", "graph", "violations")
 
+#: attrs every ``cache.hit``/``cache.miss``/``cache.store`` event must carry
+CACHE_REQUIRED_ATTRS = ("key",)
+
+#: attrs every ``cache.evict`` event must carry
+CACHE_EVICT_REQUIRED_ATTRS = ("key", "reason")
+
+#: attrs every ``batch.worker`` event must carry
+BATCH_WORKER_REQUIRED_ATTRS = ("path", "key", "ok")
+
 #: the counter-table trailer record's name
 COUNTERS_RECORD = "counters"
 
@@ -167,6 +176,18 @@ def validate_record(record: dict[str, Any]) -> list[str]:
         for key in BLAME_REQUIRED_ATTRS:
             if key not in attrs:
                 problems.append(f"analysis.blame missing attr {key!r}")
+    elif name in ("cache.hit", "cache.miss", "cache.store"):
+        for key in CACHE_REQUIRED_ATTRS:
+            if key not in attrs:
+                problems.append(f"{name} missing attr {key!r}")
+    elif name == "cache.evict":
+        for key in CACHE_EVICT_REQUIRED_ATTRS:
+            if key not in attrs:
+                problems.append(f"cache.evict missing attr {key!r}")
+    elif name == "batch.worker":
+        for key in BATCH_WORKER_REQUIRED_ATTRS:
+            if key not in attrs:
+                problems.append(f"batch.worker missing attr {key!r}")
     elif name == "phase" and kind == KIND_SPAN and "phase" not in attrs:
         problems.append("phase span missing attr 'phase'")
     return problems

@@ -1,0 +1,64 @@
+"""``repro.pipeline`` — compilation driver, configurations, batching
+and the persistent artifact cache.
+
+* :mod:`repro.pipeline.compiler` — the phase pipeline for one unit;
+* :mod:`repro.pipeline.config` — the paper's named configurations;
+* :mod:`repro.pipeline.batch` — parallel many-file compilation;
+* :mod:`repro.pipeline.cache` — on-disk artifact cache keyed by
+  *(source hash, config fingerprint, repro version)*.
+
+See docs/PIPELINE.md for the batching/caching architecture.
+"""
+
+from .batch import BatchOptions, BatchReport, FileResult, compile_batch
+from .cache import (
+    ArtifactCache,
+    CacheEntry,
+    CacheStats,
+    artifact_manifest,
+    cache_key,
+    config_fingerprint,
+    make_entry,
+    normalize_ir,
+)
+from .compiler import (
+    CompilationReport,
+    Compiler,
+    UnitMetrics,
+    compile_and_profile,
+    measure_performance,
+)
+from .config import (
+    BACKTRACKING,
+    BASELINE,
+    CONFIGURATIONS,
+    DBDS,
+    DUPALOT,
+    CompilerConfig,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "BACKTRACKING",
+    "BASELINE",
+    "BatchOptions",
+    "BatchReport",
+    "CacheEntry",
+    "CacheStats",
+    "CompilationReport",
+    "Compiler",
+    "CompilerConfig",
+    "CONFIGURATIONS",
+    "DBDS",
+    "DUPALOT",
+    "FileResult",
+    "UnitMetrics",
+    "artifact_manifest",
+    "cache_key",
+    "compile_and_profile",
+    "compile_batch",
+    "config_fingerprint",
+    "make_entry",
+    "measure_performance",
+    "normalize_ir",
+]

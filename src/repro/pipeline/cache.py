@@ -1,0 +1,374 @@
+"""Persistent compilation-artifact cache.
+
+A warm recompile of an unchanged source must skip the whole
+simulate → trade-off → optimize pipeline.  The cache stores one
+:class:`CacheEntry` per *(source, configuration, repro version,
+profiling inputs)* combination — the optimized program (pickled), the
+:class:`~repro.pipeline.compiler.CompilationReport`, the full event
+trace of the original compilation, and a deterministic **artifact
+manifest** (IR dump + DBDS decision list + size/duplication numbers,
+no wall-clock fields) whose SHA-256 digest is the identity the
+differential tests compare — parallel batch compiles must be
+byte-identical to serial ones at the manifest level.
+
+Storage layout and durability::
+
+    <cache-dir>/<key[:2]>/<key>.entry
+    # file = "<sha256-hex-of-payload>\n" + pickle(payload)
+
+Writes go to a per-process temp file in the same directory followed by
+``os.replace``, so concurrent writers of the same key can never
+produce a torn read — the last complete write wins.  Reads verify the
+leading digest; any mismatch or unpickling failure counts as a
+corrupted entry: the file is deleted, a ``cache.evict`` event is
+emitted, and the caller falls back to a cold compile.
+
+Telemetry: ``cache.hit`` / ``cache.miss`` / ``cache.store`` /
+``cache.evict`` events flow through :mod:`repro.obs` (the ambient
+tracer by default); see docs/OBSERVABILITY.md for the schema and
+docs/PIPELINE.md for the key diagram.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from ..ir.graph import Program
+from ..obs.sinks import event_from_dict, event_to_dict
+from ..obs.tracer import Event, Tracer, current_tracer
+from .compiler import CompilationReport
+from .config import CompilerConfig
+
+#: bump when the on-disk payload layout changes (invalidates old dirs)
+CACHE_SCHEMA_VERSION = 1
+
+#: pickle protocol pinned so parent and pool workers agree
+PICKLE_PROTOCOL = 4
+
+
+def repro_version() -> str:
+    """The package version baked into every cache key."""
+    from .. import __version__
+
+    return __version__
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def config_fingerprint(config: CompilerConfig) -> str:
+    """Deterministic digest of every tunable in a configuration
+    (delegates to :meth:`CompilerConfig.fingerprint`)."""
+    return config.fingerprint()
+
+
+def source_fingerprint(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def cache_key(
+    source: str,
+    config: CompilerConfig,
+    entry: str = "main",
+    profile_args: Sequence[Sequence[Any]] = ((10,),),
+    check_ir: str = "off",
+    version: Optional[str] = None,
+) -> str:
+    """The cache identity of one compilation.
+
+    ``entry``/``profile_args`` are part of the key because the
+    profiling run feeds branch probabilities into the trade-off tier —
+    different profiles legitimately produce different artifacts.
+    ``check_ir`` is included so a checked compile never satisfies a
+    request for an unchecked one (and vice versa).
+    """
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "source": source_fingerprint(source),
+            "config": config_fingerprint(config),
+            "version": version if version is not None else repro_version(),
+            "entry": entry,
+            "profile_args": [list(args) for args in profile_args],
+            "check_ir": check_ir,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Artifact manifests
+# ----------------------------------------------------------------------
+_VALUE_NAME_RE = re.compile(r"\bv(\d+)\b")
+
+
+def normalize_ir(dump: str) -> str:
+    """Renumber SSA value names in an IR dump to first-appearance order.
+
+    ``Value.id`` comes from a process-global counter, so two isomorphic
+    compiles of the same source print different absolute ``vN`` names
+    depending on what the process compiled before.  Manifests must be a
+    function of the compilation alone — a pool worker and an inline
+    compile have different ID histories but identical IR — so value
+    names are canonicalized to ``v0, v1, ...`` in order of appearance.
+    Block labels and parameter/constant names are already per-graph
+    deterministic and pass through untouched.
+    """
+    mapping: dict[str, str] = {}
+
+    def rename(match: "re.Match[str]") -> str:
+        old = match.group(1)
+        if old not in mapping:
+            mapping[old] = f"v{len(mapping)}"
+        return mapping[old]
+
+    return _VALUE_NAME_RE.sub(rename, dump)
+
+
+def artifact_manifest(
+    program: Program,
+    report: CompilationReport,
+    events: Iterable[Event] = (),
+) -> dict[str, Any]:
+    """The deterministic identity of one compilation's output.
+
+    Contains only reproducible facts — the optimized IR of every unit,
+    the DBDS decision list (event attrs, no timestamps), code sizes,
+    duplication and candidate counts.  Wall-clock fields are excluded
+    on purpose: a parallel compile is *bit-identical* to a serial one
+    exactly when the manifests match byte for byte.
+    """
+    decisions = [
+        dict(sorted(event.attrs.items()))
+        for event in events
+        if event.name == "dbds.decision"
+    ]
+    manifest = {
+        "config": report.config,
+        "units": [
+            {
+                "function": unit.function,
+                "code_size": unit.code_size,
+                "initial_code_size": unit.initial_code_size,
+                "duplications": unit.duplications,
+                "candidates": unit.candidates,
+            }
+            for unit in report.units
+        ],
+        "ir": normalize_ir(program.describe()),
+        "decisions": decisions,
+    }
+    manifest["digest"] = manifest_digest(manifest)
+    return manifest
+
+
+def manifest_digest(manifest: dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON form (``digest`` key excluded)."""
+    body = {k: v for k, v in manifest.items() if k != "digest"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Entries
+# ----------------------------------------------------------------------
+@dataclass
+class CacheEntry:
+    """Everything needed to skip a recompile.
+
+    ``program_blob`` is the pickled optimized :class:`Program`;
+    ``events`` is the original compilation's full trace (so ``repro
+    explain``-style decision rendering works offline from cache);
+    ``counters`` is the original tracer's counter table.
+    """
+
+    key: str
+    manifest: dict[str, Any]
+    report: CompilationReport
+    program_blob: bytes
+    events: list[Event] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+
+    def program(self) -> Program:
+        """Rehydrate the optimized program."""
+        return pickle.loads(self.program_blob)
+
+    # -- serialization --------------------------------------------------
+    def to_payload(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "manifest": self.manifest,
+            "report": self.report.to_json(),
+            "program_blob": self.program_blob,
+            "events": [event_to_dict(e) for e in self.events],
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> "CacheEntry":
+        return cls(
+            key=payload["key"],
+            manifest=payload["manifest"],
+            report=CompilationReport.from_json(payload["report"]),
+            program_blob=payload["program_blob"],
+            events=[event_from_dict(d) for d in payload.get("events", [])],
+            counters=dict(payload.get("counters", {})),
+        )
+
+
+def make_entry(
+    key: str,
+    program: Program,
+    report: CompilationReport,
+    events: Iterable[Event] = (),
+    counters: Optional[dict[str, int]] = None,
+) -> CacheEntry:
+    """Build an entry from a just-finished compilation."""
+    events = list(events)
+    return CacheEntry(
+        key=key,
+        manifest=artifact_manifest(program, report, events),
+        report=report,
+        program_blob=pickle.dumps(program, protocol=PICKLE_PROTOCOL),
+        events=events,
+        counters=dict(counters or {}),
+    )
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Tallies of one cache's lifetime (one process)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def format(self) -> str:
+        return (
+            f"cache: {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.stores} store(s), {self.evictions} eviction(s) "
+            f"({self.hit_rate * 100.0:.0f}% hit rate)"
+        )
+
+
+class ArtifactCache:
+    """Content-addressed store of :class:`CacheEntry` files.
+
+    Thread/process safe for writers (atomic ``os.replace``); readers
+    verify a whole-payload digest, so a reader can never observe a
+    partially written entry — worst case it misses.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.entry"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, tracer: Optional[Tracer] = None) -> Optional[CacheEntry]:
+        """The entry for ``key``, or None (miss or corrupted)."""
+        tracer = tracer if tracer is not None else current_tracer()
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            tracer.count("cache.miss")
+            tracer.event("cache.miss", key=key)
+            return None
+        entry = self._decode(key, raw)
+        if entry is None:
+            self._evict(key, path, "corrupted entry", tracer)
+            self.stats.misses += 1
+            tracer.count("cache.miss")
+            tracer.event("cache.miss", key=key)
+            return None
+        self.stats.hits += 1
+        tracer.count("cache.hit")
+        tracer.event("cache.hit", key=key, path=str(path))
+        return entry
+
+    def put(
+        self, entry: CacheEntry, tracer: Optional[Tracer] = None
+    ) -> Path:
+        """Atomically persist ``entry``; returns its path."""
+        tracer = tracer if tracer is not None else current_tracer()
+        path = self.path_for(entry.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(entry.to_payload(), protocol=PICKLE_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest()
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{entry.key[:8]}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(digest.encode("ascii") + b"\n" + payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        tracer.count("cache.store")
+        tracer.event("cache.store", key=entry.key, path=str(path))
+        return path
+
+    # ------------------------------------------------------------------
+    def _decode(self, key: str, raw: bytes) -> Optional[CacheEntry]:
+        """Parse + verify one entry file; None means corrupted."""
+        try:
+            digest, payload = raw.split(b"\n", 1)
+            if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+                return None
+            entry = CacheEntry.from_payload(pickle.loads(payload))
+            if entry.key != key:
+                return None
+            return entry
+        except Exception:
+            return None
+
+    def _evict(
+        self, key: str, path: Path, reason: str, tracer: Tracer
+    ) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.stats.evictions += 1
+        tracer.count("cache.evict")
+        tracer.event("cache.evict", key=key, reason=reason)

@@ -40,6 +40,21 @@ class CompilerConfig:
     #: before DBDS (duplication at loop headers — see DESIGN.md)
     enable_peeling: bool = False
 
+    def fingerprint(self) -> str:
+        """Deterministic digest of every tunable (cache-key component).
+
+        Built from ``dataclasses.asdict`` so nested
+        :class:`TradeOffConfig` constants participate: two configs that
+        differ in any field — even an ablation tweak — never share
+        artifact-cache entries (see ``repro.pipeline.cache``).
+        """
+        import dataclasses
+        import hashlib
+        import json
+
+        payload = json.dumps(dataclasses.asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def dbds_config(self) -> DbdsConfig:
         return DbdsConfig(
             trade_off=self.trade_off,

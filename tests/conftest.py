@@ -7,6 +7,22 @@ import pytest
 from tests.helpers import build_diamond
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files (tests/goldens/) instead of "
+        "asserting against them",
+    )
+
+
+@pytest.fixture
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    """True when the run should regenerate golden files."""
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def diamond() -> dict:
     """The Figure 1 diamond CFG, built fresh per test."""

@@ -1,7 +1,28 @@
 """Compatibility shim: the generator moved into the package so the
 ``repro check --fuzz`` CLI and the translation-validation harness can
-use it (see :mod:`repro.analysis.progen`)."""
+use it (see :mod:`repro.analysis.progen`).
 
-from repro.analysis.progen import ProgramGenerator, random_program
+Re-exports the *whole* public surface of :mod:`repro.analysis.progen`
+— including the :class:`SourceMutator` additions — under the historic
+``tests.generators`` name; ``test_generators_shim.py`` keeps the two
+``__all__`` lists in lockstep so the shim can never silently fall
+behind the package module again.
+"""
 
-__all__ = ["ProgramGenerator", "random_program"]
+from repro.analysis.progen import (
+    MUTATION_KINDS,
+    MutatedProgram,
+    ProgramGenerator,
+    SourceMutator,
+    mutated_program,
+    random_program,
+)
+
+__all__ = [
+    "MUTATION_KINDS",
+    "MutatedProgram",
+    "ProgramGenerator",
+    "SourceMutator",
+    "mutated_program",
+    "random_program",
+]

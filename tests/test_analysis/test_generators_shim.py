@@ -1,0 +1,16 @@
+"""Parity test for the ``tests.generators`` compatibility shim."""
+
+from __future__ import annotations
+
+from repro.analysis import progen
+
+from tests import generators as shim
+
+
+def test_shim_all_matches_package_module():
+    assert sorted(shim.__all__) == sorted(progen.__all__)
+
+
+def test_shim_reexports_identical_objects():
+    for name in progen.__all__:
+        assert getattr(shim, name) is getattr(progen, name), name

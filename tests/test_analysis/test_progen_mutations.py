@@ -1,0 +1,135 @@
+"""The template-extraction-style source mutator and its fuzz driver."""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+from repro.analysis.progen import (
+    MUTATION_KINDS,
+    SourceMutator,
+    mutated_program,
+)
+from repro.analysis.validate import fuzz_mutations
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter
+
+PROGRAM = textwrap.dedent(
+    """
+    // leading comment with numbers 42 and a < b comparison
+    fn main(n: int) -> int {
+      var total: int = 7;
+      var i: int = 0;
+      while (i < n) {
+        if (total > 3) { total = total + 2; } else { total = total - 1; }
+        i = i + 1;
+      }
+      return total;
+    }
+    """
+)
+
+APPS = sorted(pathlib.Path("examples/apps").glob("*.mini"))
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
+def test_swap_constant_changes_one_literal_outside_while_header():
+    mutated = SourceMutator(seed=3).swap_constant(PROGRAM)
+    assert mutated is not None and mutated != PROGRAM
+    # The loop bound and comment are untouched.
+    assert "while (i < n)" in mutated
+    assert "comment with numbers 42" in mutated
+    compile_source(mutated)
+
+
+def test_flip_comparison_only_touches_if_headers():
+    mutated = SourceMutator(seed=0).flip_comparison(PROGRAM)
+    assert mutated is not None and mutated != PROGRAM
+    assert "while (i < n)" in mutated, "while headers are off-limits"
+    assert "(total > 3)" not in mutated
+    compile_source(mutated)
+
+
+def test_wrap_loop_body_is_semantically_neutral():
+    mutated = SourceMutator(seed=0).wrap_loop_body(PROGRAM)
+    assert mutated is not None
+    assert "if (0 == 0)" in mutated
+    original = compile_source(PROGRAM)
+    wrapped = compile_source(mutated)
+    for n in (0, 1, 5):
+        before = Interpreter(original).run("main", [n])
+        after = Interpreter(wrapped).run("main", [n])
+        assert (before.value, before.trap) == (after.value, after.trap)
+
+
+def test_mutate_is_deterministic_per_seed():
+    a = SourceMutator(seed=11).mutate(PROGRAM, mutations=3)
+    b = SourceMutator(seed=11).mutate(PROGRAM, mutations=3)
+    c = SourceMutator(seed=12).mutate(PROGRAM, mutations=3)
+    assert a.source == b.source and a.applied == b.applied
+    assert (c.source, c.applied) != (a.source, a.applied) or c.source == a.source
+    assert set(a.applied) <= set(MUTATION_KINDS)
+
+
+def test_every_operator_fires_across_seeds():
+    fired = set()
+    for seed in range(30):
+        fired.update(SourceMutator(seed).mutate(PROGRAM, mutations=2).applied)
+        if fired == set(MUTATION_KINDS):
+            break
+    assert fired == set(MUTATION_KINDS)
+
+
+def test_mutants_of_real_apps_stay_compilable():
+    corpus = [path.read_text() for path in APPS]
+    assert corpus
+    for seed in range(10):
+        mutant = mutated_program(seed, corpus)
+        assert mutant.base.startswith("corpus[")
+        compile_source(mutant.source)
+
+
+def test_mutated_program_without_corpus_uses_generator():
+    mutant = mutated_program(5)
+    assert mutant.base == "generated[5]"
+    compile_source(mutant.source)
+
+
+# ----------------------------------------------------------------------
+# The fuzz driver
+# ----------------------------------------------------------------------
+def test_fuzz_mutations_green_on_apps_corpus():
+    corpus = [path.read_text() for path in APPS]
+    report = fuzz_mutations(
+        seed=0,
+        programs=4,
+        corpus=corpus,
+        arg_values=(0, 2, 4),
+        time_budget=60.0,
+    )
+    assert report.ok, report.format()
+    assert report.programs == 4
+    assert report.runs + report.skipped > 0
+
+
+def test_fuzz_mutations_time_budget_stops_early():
+    corpus = [path.read_text() for path in APPS]
+    report = fuzz_mutations(
+        seed=0, programs=500, corpus=corpus, arg_values=(2,), time_budget=0.0
+    )
+    assert report.programs <= 1
+
+
+def test_fuzz_mutations_counts_screened_blowups_as_skipped():
+    # A mutant whose unoptimized run busts a tiny step budget is
+    # skipped, not failed: differential runs need both sides to finish.
+    corpus = [PROGRAM]
+    report = fuzz_mutations(
+        seed=0, programs=3, corpus=corpus, arg_values=(5,), screen_steps=10
+    )
+    assert report.ok
+    assert report.skipped == report.programs
+    assert report.runs == 0
+    assert "skipped" in report.format()
