@@ -20,7 +20,11 @@ checking, and translation-validation fuzzing.  ``run``,
 JSONL event trace) and ``--profile-compile`` (print the per-phase
 profile); see docs/OBSERVABILITY.md.  ``run`` and ``compile`` accept
 ``--check-ir={off,boundaries,each-phase}`` plus
-``--fail-fast``/``--keep-going``.
+``--fail-fast``/``--keep-going``.  ``run``, ``bench`` and ``check``
+accept ``--engine={reference,vm}`` to pick the executor; ``bench
+--engine-report FILE`` writes a reference-vs-VM comparison and ``check
+--diff-engines``/``--fuzz-engines N`` differentially validate the VM
+(docs/VM.md).
 """
 
 from __future__ import annotations
@@ -39,8 +43,9 @@ from .interp.profile import apply_profile, profile_program
 from .obs import CompileProfile, Tracer, write_jsonl
 from .pipeline.batch import BatchOptions, compile_batch
 from .pipeline.cache import ArtifactCache, cache_key, make_entry
-from .pipeline.compiler import Compiler, measure_performance
+from .pipeline.compiler import Compiler, ENGINES, measure_performance
 from .pipeline.config import CONFIGURATIONS
+from .vm import translate_program
 
 #: default on-disk cache location of the ``batch`` verb
 DEFAULT_CACHE_DIR = pathlib.Path(".repro-cache")
@@ -61,6 +66,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=[10],
         help="integer arguments for the entry function",
+    )
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default="reference",
+        choices=ENGINES,
+        help="execution engine for program runs (see docs/VM.md)",
     )
 
 
@@ -192,8 +206,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             profile_args=[args.args], check_ir=args.check_ir,
         )
         cached = cache.get(key, tracer)
+    bytecode = None
     if cached is not None:
         program, report = cached.program(), cached.report
+        bytecode = cached.bytecode()
     else:
         # Compile under a recording tracer even without telemetry flags
         # when caching: the stored artifact keeps its decision trace.
@@ -211,15 +227,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         if _report_guard_failures(guard):
             return 1
         if cache is not None:
+            bytecode = translate_program(program)
             cache.put(
                 make_entry(
                     key, program, report,
                     events=compile_tracer.events,
                     counters=compile_tracer.counters,
+                    bytecode=bytecode,
                 ),
                 tracer,
             )
-    cycles, results = measure_performance(program, args.entry, [args.args])
+    cycles, results = measure_performance(
+        program, args.entry, [args.args],
+        engine=args.engine, bytecode=bytecode,
+    )
     result = results[0]
     if result.trapped:
         print(f"trap: {result.trap}", file=sys.stderr)
@@ -341,6 +362,7 @@ def _check_one_file(
                 key, program, report,
                 events=compile_tracer.events,
                 counters=compile_tracer.counters,
+                bytecode=translate_program(program),
             ),
             tracer,
         )
@@ -385,10 +407,28 @@ def _check_program_sweeps(
             if message is not None:
                 problems.append(message)
 
-        interpreter = Interpreter(program, observer=observe)
-        interpreter.run(args.entry, list(args.args))
+        # Both engines expose the same observer hook, so dynamic stamp
+        # checking doubles as a VM spot-check under --engine=vm.
+        if getattr(args, "engine", "reference") == "vm":
+            from .vm.machine import VirtualMachine
+
+            runner = VirtualMachine(translate_program(program), observer=observe)
+        else:
+            runner = Interpreter(program, observer=observe)
+        runner.run(args.entry, list(args.args))
         for message in problems:
             print(f"{path}: dynamic-stamp: {message}", file=sys.stderr)
+            failures += 1
+
+    if getattr(args, "diff_engines", False):
+        from .analysis import validate_engines
+
+        result = validate_engines(
+            path.read_text(), args.entry, [args.args],
+            config=CONFIGURATIONS[args.config],
+        )
+        for record in result.divergences:
+            print(f"{path}: engine-diff: {record.format()}", file=sys.stderr)
             failures += 1
     return failures
 
@@ -420,6 +460,20 @@ def cmd_check(args: argparse.Namespace) -> int:
             seed=args.seed,
             programs=args.fuzz_mutations,
             time_budget=args.time_budget,
+            corpus=corpus,
+        )
+        print(report.format())
+        failures += len(report.divergences) + len(report.compile_failures)
+
+    if args.fuzz_engines:
+        from .analysis import fuzz_engines
+
+        corpus = [path.read_text() for path in files]
+        report = fuzz_engines(
+            seed=args.seed,
+            programs=args.fuzz_engines,
+            time_budget=args.time_budget,
+            config=config,
             corpus=corpus,
         )
         print(report.format())
@@ -469,12 +523,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     profile_phases = args.profile_compile or args.trace_out is not None
     cache = _make_cache(args)
     report = run_suite(
-        profile, seed=args.seed, profile_phases=profile_phases, cache=cache
+        profile, seed=args.seed, profile_phases=profile_phases, cache=cache,
+        engine=args.engine,
     )
     print(format_suite_report(report))
     if args.trace_out is not None:
         args.trace_out.write_text(json.dumps(suite_report_json(report), indent=2))
         print(f"suite report -> {args.trace_out}", file=sys.stderr)
+    if args.engine_report is not None:
+        from .bench.engines import compare_engines
+
+        comparison = compare_engines(profile, seed=args.seed, cache=cache)
+        print(comparison.format())
+        args.engine_report.write_text(
+            json.dumps(comparison.to_json(), indent=2)
+        )
+        print(f"engine report -> {args.engine_report}", file=sys.stderr)
+        if not comparison.all_match:
+            return 1
     _emit_cache_stats(args, cache)
     return 0
 
@@ -540,6 +606,7 @@ def main(argv: list[str] | None = None) -> int:
 
     run_parser = sub.add_parser("run", help="JIT-compile and execute")
     _add_common(run_parser)
+    _add_engine_flag(run_parser)
     _add_observability(run_parser)
     _add_check_flags(run_parser)
     _add_cache_flags(run_parser)
@@ -675,6 +742,21 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="stop fuzzing after this many seconds",
     )
+    _add_engine_flag(check_parser)
+    check_parser.add_argument(
+        "--diff-engines",
+        action="store_true",
+        help="run every checked program on both engines and demand "
+        "identical outcomes, steps and cycles",
+    )
+    check_parser.add_argument(
+        "--fuzz-engines",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also engine-validate N mutants of the checked sources "
+        "(reference interpreter vs bytecode VM)",
+    )
     _add_observability(check_parser)
     _add_cache_flags(check_parser)
     check_parser.set_defaults(func=cmd_check)
@@ -682,6 +764,15 @@ def main(argv: list[str] | None = None) -> int:
     bench_parser = sub.add_parser("bench", help="run one evaluation suite")
     bench_parser.add_argument("--suite", default="micro", choices=sorted(ALL_SUITES))
     bench_parser.add_argument("--seed", type=int, default=0)
+    _add_engine_flag(bench_parser)
+    bench_parser.add_argument(
+        "--engine-report",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="also compare engines on the suite, write the JSON report "
+        "(reference vs VM wall times, speedup, outcome equality)",
+    )
     _add_observability(bench_parser)
     _add_cache_flags(bench_parser)
     bench_parser.set_defaults(func=cmd_bench)

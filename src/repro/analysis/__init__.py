@@ -55,8 +55,10 @@ from .validate import (
     DivergenceRecord,
     FuzzReport,
     ValidationResult,
+    fuzz_engines,
     fuzz_mutations,
     fuzz_translation,
+    validate_engines,
     validate_translation,
 )
 from .progen import (
@@ -94,6 +96,7 @@ __all__ = [
     "check_stamp_dynamic",
     "checker",
     "current_guard",
+    "fuzz_engines",
     "fuzz_mutations",
     "fuzz_translation",
     "get_checker",
@@ -104,5 +107,6 @@ __all__ = [
     "run_program_checkers",
     "stamp_admits",
     "use_guard",
+    "validate_engines",
     "validate_translation",
 ]

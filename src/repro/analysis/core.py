@@ -174,6 +174,9 @@ class CheckerContext(_ContextBase):
         self._frequencies: Optional[BlockFrequencies] = None
         self._reachable = None
 
+    # Checkers deliberately bypass Graph's analysis cache: a sanitizer
+    # must recompute from the raw CFG, since the very thing it validates
+    # may be a mutation that failed to invalidate the cache.
     @property
     def dom(self) -> DominatorTree:
         if self._dom is None:

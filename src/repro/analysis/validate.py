@@ -192,6 +192,115 @@ def fuzz_translation(
 
 
 # ----------------------------------------------------------------------
+# Engine differential mode: reference interpreter vs bytecode VM
+# ----------------------------------------------------------------------
+def validate_engines(
+    source: str,
+    entry: str = "main",
+    arg_sets: Optional[Iterable[Sequence[Any]]] = None,
+    config: Optional[Any] = None,
+    seed: Optional[int] = None,
+) -> ValidationResult:
+    """Compile once, execute on both engines, demand exact agreement.
+
+    Where :func:`validate_translation` compares two *compilations* on
+    one engine, this compares two *engines* on one compilation — the
+    check that the bytecode VM is a faithful implementation of the
+    reference semantics.  Agreement is stricter than observable
+    outcome: step counts and metered cycles must match too, since the
+    VM advertises step/cycle parity.
+    """
+    from ..costmodel.model import cycles_of
+    from ..interp.interpreter import Interpreter, observable_outcome
+    from ..pipeline.compiler import compile_and_profile
+    from ..pipeline.config import DBDS
+    from ..vm import translate_program
+    from ..vm.machine import VirtualMachine
+
+    if config is None:
+        config = DBDS
+    sets = [list(args) for args in (arg_sets or [[v] for v in DEFAULT_ARG_VALUES])]
+    result = ValidationResult(entry=entry, configs=["reference", "vm"])
+    program, _ = compile_and_profile(source, entry, sets, config)
+    reference = Interpreter(
+        program, cycle_cost=cycles_of, terminator_cost=cycles_of
+    )
+    vm = VirtualMachine(translate_program(program), metered=True)
+    for args in sets:
+        reference.reset()
+        vm.reset()
+        ref_run = reference.run(entry, list(args))
+        vm_run = vm.run(entry, list(args))
+        result.runs += 2
+        ref_out = (
+            observable_outcome(ref_run, reference.state),
+            ref_run.steps,
+            ref_run.cycles,
+        )
+        vm_out = (
+            observable_outcome(vm_run, vm.state), vm_run.steps, vm_run.cycles
+        )
+        if ref_out != vm_out:
+            result.divergences.append(
+                DivergenceRecord(
+                    entry=entry,
+                    args=tuple(args),
+                    config_a="reference",
+                    config_b="vm",
+                    outcome_a=ref_out,
+                    outcome_b=vm_out,
+                    seed=seed,
+                )
+            )
+    return result
+
+
+def fuzz_engines(
+    seed: int = 0,
+    programs: int = 20,
+    time_budget: Optional[float] = None,
+    config: Optional[Any] = None,
+    corpus: Optional[Sequence[str]] = None,
+    arg_values: Sequence[int] = DEFAULT_ARG_VALUES,
+    mutations: int = 2,
+    screen_steps: int = SCREEN_STEP_BUDGET,
+) -> FuzzReport:
+    """Engine-validate ``programs`` mutants of real sources.
+
+    The mutation machinery of :func:`fuzz_mutations` pointed at the
+    engine oracle: every surviving mutant is compiled once and must
+    behave identically on the reference interpreter and the VM.
+    """
+    report = FuzzReport()
+    start = time.perf_counter()
+    corpus = list(corpus) if corpus else None
+    arg_sets = [[value] for value in arg_values]
+    for index in range(programs):
+        if time_budget is not None and time.perf_counter() - start > time_budget:
+            break
+        mutant_seed = seed + index
+        mutant = mutated_program(mutant_seed, corpus, mutations=mutations)
+        label = f"{mutant.base}: {', '.join(mutant.applied) or 'unchanged'}"
+        report.programs += 1
+        try:
+            if not _screen_mutant(mutant.source, "main", arg_sets, screen_steps):
+                report.skipped += 1
+                continue
+            result = validate_engines(
+                mutant.source, "main", arg_sets, config, seed=mutant_seed
+            )
+        except Exception as exc:  # compile/translate crash: a finding
+            report.compile_failures.append(
+                (mutant_seed, f"[{label}] {type(exc).__name__}: {exc}")
+            )
+            continue
+        report.runs += result.runs
+        report.divergences.extend(result.divergences)
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+# ----------------------------------------------------------------------
 # Mutation-based fuzzing over real programs
 # ----------------------------------------------------------------------
 def _screen_mutant(

@@ -1,0 +1,186 @@
+"""Reference-interpreter vs bytecode-VM comparison.
+
+The VM exists to make the evaluation harness fast, so this module
+answers the two questions that justify it: *how much faster is it* on
+the headline (micro) suite, and *does it compute the same thing*.  Each
+workload is compiled once, then the measured argument sets run on both
+engines under identical metering; the report carries per-workload wall
+times, the speedup ratio, and an outcome-equality bit (value, trap,
+globals, steps and cycles all have to agree).
+
+``python -m repro bench --engine-report FILE`` writes :func:`to_json`
+output — CI archives it as the ``BENCH_headline.json`` artifact and
+fails the build when the median speedup degrades below its floor.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..costmodel.model import cycles_of
+from ..interp.interpreter import Interpreter, observable_outcome
+from ..obs.tracer import Tracer
+from ..pipeline.cache import ArtifactCache, cache_key, make_entry
+from ..pipeline.compiler import compile_and_profile
+from ..pipeline.config import CompilerConfig, DBDS
+from ..vm import translate_program
+from ..vm.machine import VirtualMachine
+from .workloads.suites import MICRO, SuiteProfile, Workload, generate_suite
+
+
+@dataclass
+class EngineRow:
+    """One workload, both engines."""
+
+    workload: str
+    ref_seconds: float
+    vm_seconds: float
+    cycles: float
+    steps: int
+    outcomes_match: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.ref_seconds / max(self.vm_seconds, 1e-12)
+
+
+@dataclass
+class EngineComparisonReport:
+    """Per-workload engine timings plus the headline median speedup."""
+
+    suite: str
+    config: str
+    rows: list[EngineRow] = field(default_factory=list)
+
+    @property
+    def median_speedup(self) -> float:
+        return statistics.median(r.speedup for r in self.rows) if self.rows else 0.0
+
+    @property
+    def all_match(self) -> bool:
+        return all(r.outcomes_match for r in self.rows)
+
+    def format(self) -> str:
+        lines = [f"=== engine comparison: {self.suite} / {self.config} ==="]
+        lines.append(
+            f"{'benchmark':<14s}{'reference s':>14s}{'vm s':>12s}"
+            f"{'speedup':>10s}{'match':>8s}"
+        )
+        for row in self.rows:
+            lines.append(
+                f"{row.workload:<14s}{row.ref_seconds:>14.4f}"
+                f"{row.vm_seconds:>12.4f}{row.speedup:>9.2f}x"
+                f"{'yes' if row.outcomes_match else 'NO':>8s}"
+            )
+        lines.append(
+            f"median speedup: {self.median_speedup:.2f}x, "
+            f"outcomes {'all match' if self.all_match else 'DIVERGE'}"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "suite": self.suite,
+            "config": self.config,
+            "median_speedup": self.median_speedup,
+            "all_match": self.all_match,
+            "rows": [
+                {
+                    "workload": r.workload,
+                    "ref_seconds": r.ref_seconds,
+                    "vm_seconds": r.vm_seconds,
+                    "speedup": r.speedup,
+                    "cycles": r.cycles,
+                    "steps": r.steps,
+                    "outcomes_match": r.outcomes_match,
+                }
+                for r in self.rows
+            ],
+        }
+
+
+def _timed_runs(runner, entry: str, arg_sets) -> tuple[float, list, list]:
+    """Wall-time the measured runs; returns (seconds, results, outcomes)."""
+    results = []
+    outcomes = []
+    start = time.perf_counter()
+    for args in arg_sets:
+        runner.reset()
+        results.append(runner.run(entry, list(args)))
+    elapsed = time.perf_counter() - start
+    # Outcome extraction outside the timed region (deep_value walks heaps).
+    for result in results:
+        outcomes.append(
+            (observable_outcome(result, runner.state), result.steps, result.cycles)
+        )
+    return elapsed, results, outcomes
+
+
+def compare_engines_on(
+    workload: Workload,
+    config: CompilerConfig = DBDS,
+    cache: Optional[ArtifactCache] = None,
+) -> EngineRow:
+    """Compile one workload, run its measured args on both engines."""
+    key = None
+    cached = cache.get(
+        key := cache_key(
+            workload.source, config,
+            entry=workload.entry, profile_args=workload.profile_args,
+        )
+    ) if cache is not None else None
+    if cached is not None:
+        program = cached.program()
+        bytecode = cached.bytecode() or translate_program(program)
+    else:
+        tracer = Tracer() if cache is not None else None
+        program, report = compile_and_profile(
+            workload.source, workload.entry, workload.profile_args, config,
+            tracer=tracer,
+        )
+        bytecode = translate_program(program)
+        if cache is not None:
+            cache.put(
+                make_entry(
+                    key, program, report,
+                    events=tracer.events, counters=tracer.counters,
+                    bytecode=bytecode,
+                )
+            )
+    reference = Interpreter(
+        program, cycle_cost=cycles_of, terminator_cost=cycles_of
+    )
+    vm = VirtualMachine(bytecode, metered=True)
+    ref_seconds, ref_results, ref_outcomes = _timed_runs(
+        reference, workload.entry, workload.measure_args
+    )
+    vm_seconds, vm_results, vm_outcomes = _timed_runs(
+        vm, workload.entry, workload.measure_args
+    )
+    return EngineRow(
+        workload=workload.name,
+        ref_seconds=ref_seconds,
+        vm_seconds=vm_seconds,
+        cycles=sum(r.cycles for r in vm_results),
+        steps=sum(r.steps for r in vm_results),
+        outcomes_match=ref_outcomes == vm_outcomes,
+    )
+
+
+def compare_engines(
+    profile: SuiteProfile = MICRO,
+    config: CompilerConfig = DBDS,
+    seed: int = 0,
+    workloads: Optional[list[Workload]] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> EngineComparisonReport:
+    """The headline comparison: every workload of ``profile`` on both
+    engines under ``config``."""
+    workloads = workloads if workloads is not None else generate_suite(profile, seed)
+    report = EngineComparisonReport(suite=profile.suite, config=config.name)
+    for workload in workloads:
+        report.rows.append(compare_engines_on(workload, config, cache))
+    return report

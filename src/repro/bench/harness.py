@@ -25,6 +25,7 @@ from ..obs.tracer import Tracer
 from ..pipeline.cache import ArtifactCache, cache_key, make_entry
 from ..pipeline.compiler import compile_and_profile, measure_performance
 from ..pipeline.config import BASELINE, CompilerConfig, DBDS, DUPALOT
+from ..vm import translate_program
 from .stats import format_percent, geometric_mean, speedup_percent
 from .workloads.suites import SuiteProfile, Workload, generate_suite
 
@@ -112,6 +113,7 @@ def measure_workload(
     config: CompilerConfig,
     profile_phases: bool = False,
     cache: Optional[ArtifactCache] = None,
+    engine: str = "reference",
 ) -> Measurement:
     """Compile under ``config`` and run the measured workload.
 
@@ -124,11 +126,17 @@ def measure_workload(
     when warm (the stored report keeps the original cold-compile
     timings, so normalized compile-time columns stay meaningful) and
     stored into it when cold.  Cached compiles always record their
-    trace so the stored artifact carries its decision events.
+    trace so the stored artifact carries its decision events, and the
+    stored blob carries the VM bytecode so warm ``engine="vm"`` runs
+    skip translation too.
+
+    ``engine`` picks the executor for the measured run; both report
+    identical cycles, so the choice only changes harness wall time.
     """
     wall_start = time.perf_counter()
     key = None
     cached = None
+    bytecode = None
     if cache is not None:
         key = cache_key(
             workload.source, config,
@@ -137,21 +145,26 @@ def measure_workload(
         cached = cache.get(key)
     if cached is not None:
         program, report = cached.program(), cached.report
+        bytecode = cached.bytecode()
     else:
         tracer = Tracer() if (profile_phases or cache is not None) else None
         program, report = compile_and_profile(
             workload.source, workload.entry, workload.profile_args, config,
             tracer=tracer,
         )
+        if engine == "vm":
+            bytecode = translate_program(program)
         if cache is not None:
             cache.put(
                 make_entry(
                     key, program, report,
                     events=tracer.events, counters=tracer.counters,
+                    bytecode=bytecode or translate_program(program),
                 )
             )
     cycles, results = measure_performance(
-        program, workload.entry, workload.measure_args
+        program, workload.entry, workload.measure_args,
+        engine=engine, bytecode=bytecode,
     )
     wall_time = time.perf_counter() - wall_start
     for result in results:
@@ -179,17 +192,18 @@ def run_suite(
     workloads: Optional[list[Workload]] = None,
     profile_phases: bool = False,
     cache: Optional[ArtifactCache] = None,
+    engine: str = "reference",
 ) -> SuiteReport:
     """Measure a whole suite under baseline + the given configurations."""
     configs = list(configs) if configs is not None else [DBDS, DUPALOT]
     workloads = workloads if workloads is not None else generate_suite(profile, seed)
     report = SuiteReport(suite=profile.suite, config_names=[c.name for c in configs])
     for workload in workloads:
-        baseline = measure_workload(workload, BASELINE, profile_phases, cache)
+        baseline = measure_workload(workload, BASELINE, profile_phases, cache, engine)
         row = BenchmarkRow(workload=workload.name, baseline=baseline)
         for config in configs:
             row.configs[config.name] = measure_workload(
-                workload, config, profile_phases, cache
+                workload, config, profile_phases, cache, engine
             )
         report.rows.append(row)
     return report

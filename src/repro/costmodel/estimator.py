@@ -52,7 +52,7 @@ def graph_code_size(graph: Graph) -> float:
 
 def estimated_run_time(graph: Graph, frequencies: BlockFrequencies | None = None) -> float:
     """Frequency-weighted cycle estimate of one invocation of ``graph``."""
-    freqs = frequencies or BlockFrequencies(graph)
+    freqs = frequencies or graph.block_frequencies()
     return sum(
         block_cycles(block) * freqs.frequency.get(block, 0.0) for block in graph.blocks
     )

@@ -18,7 +18,6 @@ from typing import Optional
 from ..costmodel.estimator import graph_code_size
 from ..ir.copy import copy_graph
 from ..ir.graph import Graph, Program
-from ..ir.loops import LoopForest
 from ..opts.canonicalize import CanonicalizerPhase
 from ..opts.condelim import ConditionalEliminationPhase
 from ..opts.pea import PartialEscapeAnalysisPhase
@@ -65,7 +64,7 @@ class BacktrackingDuplication:
             ]
             if skip >= len(pairs):
                 break  # full pass without progress: fixpoint
-            loops = LoopForest(graph)
+            loops = graph.loop_forest()
             restarted = False
             for index in range(skip, len(pairs)):
                 merge, pred = pairs[index]

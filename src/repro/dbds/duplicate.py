@@ -24,7 +24,6 @@ from ..ir.cfgutils import (
     split_critical_edges,
 )
 from ..ir.copy import clone_instruction, clone_terminator
-from ..ir.dominators import DominatorTree
 from ..ir.graph import Graph
 from ..ir.loops import LoopForest
 from ..ir.nodes import Goto, Phi, Value
@@ -48,7 +47,7 @@ def can_duplicate(graph: Graph, pred: Block, merge: Block, loops: LoopForest | N
         return False
     if not isinstance(pred.terminator, Goto) or pred.terminator.target is not merge:
         return False
-    forest = loops or LoopForest(graph)
+    forest = loops or graph.loop_forest()
     if forest.is_loop_header(merge):
         return False
     return True
@@ -111,7 +110,7 @@ def duplicate_into(graph: Graph, pred: Block, merge: Block) -> dict[Value, Value
     # ------------------------------------------------------------------
     # 5. SSA repair for uses in dominated blocks.
     # ------------------------------------------------------------------
-    dom = DominatorTree(graph)
+    dom = graph.dominator_tree()
     for value in defined:
         uses = collect_external_uses(value, within=merge)
         if not uses:

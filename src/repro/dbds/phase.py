@@ -164,11 +164,11 @@ class DbdsPhase(Phase):
         config = self.config
         mode = "dupalot" if config.dupalot else "dbds"
         round_benefit = 0.0
-        loops = LoopForest(graph)
+        loops = graph.loop_forest()
         structure_dirty = False
         for candidate in ranked:
             if structure_dirty:
-                loops = LoopForest(graph)
+                loops = graph.loop_forest()
                 structure_dirty = False
             if not self._still_valid(graph, candidate, loops):
                 tracer.count("dbds.decision.invalidated")
@@ -231,7 +231,7 @@ class DbdsPhase(Phase):
             if not isinstance(terminator, Goto):
                 break
             next_merge = terminator.target
-            loops = LoopForest(graph)
+            loops = graph.loop_forest()
             if not can_duplicate(graph, pred, next_merge, loops):
                 break
             tier = SimulationTier(graph, self.program)

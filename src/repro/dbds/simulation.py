@@ -24,10 +24,7 @@ from ..costmodel.estimator import block_cycles
 from ..costmodel.model import cycles_of, size_of
 from ..ir.block import Block
 from ..ir.cfgutils import reverse_post_order
-from ..ir.dominators import DominatorTree
-from ..ir.frequency import BlockFrequencies
 from ..ir.graph import Graph, Program
-from ..ir.loops import LoopForest
 from ..ir.nodes import (
     Compare,
     Constant,
@@ -108,9 +105,9 @@ class SimulationTier:
     def __init__(self, graph: Graph, program: Optional[Program] = None) -> None:
         self.graph = graph
         self.program = program
-        self.dom = DominatorTree(graph)
-        self.loops = LoopForest(graph, self.dom)
-        self.frequencies = BlockFrequencies(graph, self.loops)
+        self.dom = graph.dominator_tree()
+        self.loops = graph.loop_forest()
+        self.frequencies = graph.block_frequencies()
         self._readelim = ReadEliminationPhase(program)
         self._out_caches = self._compute_memory_states()
 

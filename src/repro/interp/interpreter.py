@@ -44,7 +44,7 @@ from ..ir.nodes import (
     StoreGlobal,
     Value,
 )
-from ..ir.ops import EvaluationTrap, eval_binop, eval_cmp
+from ..ir.ops import EvaluationTrap, eval_binop, eval_cmp, wrap64
 
 
 class BudgetExceeded(Exception):
@@ -229,64 +229,90 @@ class Interpreter:
         return env[value]
 
     # ------------------------------------------------------------------
+    # Execution is dispatched through a type-keyed handler table (the
+    # _exec_* methods below); _resolve_handler walks the MRO once so
+    # downstream node subclasses inherit their base class's handler.
+    # ------------------------------------------------------------------
     def _execute(self, ins: Instruction, env: dict[Value, Any]) -> Any:
-        get = lambda v: self._value_of(v, env)  # noqa: E731 - hot path
-        if isinstance(ins, ArithOp):
-            return eval_binop(ins.op, get(ins.x), get(ins.y))
-        if isinstance(ins, Compare):
-            return eval_cmp(ins.op, get(ins.x), get(ins.y))
-        if isinstance(ins, Not):
-            return not get(ins.x)
-        if isinstance(ins, Neg):
-            from ..ir.ops import wrap64
+        cls = type(ins)
+        handler = _EXEC_HANDLERS.get(cls)
+        if handler is None:
+            handler = _resolve_handler(cls)
+        return handler(self, ins, env)
 
-            return wrap64(-get(ins.x))
-        if isinstance(ins, New):
-            decl = self.program.class_table.lookup(ins.object_type.class_name)
-            return HeapObject(
-                decl.name, {f.name: f.type.default_value() for f in decl.fields}
-            )
-        if isinstance(ins, LoadField):
-            obj = get(ins.obj)
-            if obj is None:
-                raise EvaluationTrap(f"null dereference reading .{ins.field}")
-            return obj.fields[ins.field]
-        if isinstance(ins, StoreField):
-            obj = get(ins.obj)
-            if obj is None:
-                raise EvaluationTrap(f"null dereference writing .{ins.field}")
-            obj.fields[ins.field] = get(ins.value)
-            return None
-        if isinstance(ins, LoadGlobal):
-            return self.state.globals[ins.global_name]
-        if isinstance(ins, StoreGlobal):
-            self.state.globals[ins.global_name] = get(ins.value)
-            return None
-        if isinstance(ins, NewArray):
-            length = get(ins.length)
-            if length < 0:
-                raise EvaluationTrap(f"negative array length {length}")
-            return HeapArray([ins.element_type.default_value()] * length)
-        if isinstance(ins, ArrayLoad):
-            array, index = get(ins.array), get(ins.index)
-            self._check_array(array, index)
-            return array.values[index]
-        if isinstance(ins, ArrayStore):
-            array, index = get(ins.array), get(ins.index)
-            self._check_array(array, index)
-            array.values[index] = get(ins.value)
-            return None
-        if isinstance(ins, ArrayLength):
-            array = get(ins.array)
-            if array is None:
-                raise EvaluationTrap("null dereference in len()")
-            return len(array.values)
-        if isinstance(ins, Call):
-            callee = self.program.function(ins.callee)
-            return self._call(callee, [get(a) for a in ins.args])
-        if isinstance(ins, Phi):  # pragma: no cover - phis handled on entry
-            raise AssertionError("phi reached instruction loop")
-        raise AssertionError(f"cannot execute {type(ins).__name__}")
+    def _exec_arith(self, ins: ArithOp, env) -> Any:
+        return eval_binop(
+            ins.op, self._value_of(ins.x, env), self._value_of(ins.y, env)
+        )
+
+    def _exec_compare(self, ins: Compare, env) -> Any:
+        return eval_cmp(
+            ins.op, self._value_of(ins.x, env), self._value_of(ins.y, env)
+        )
+
+    def _exec_not(self, ins: Not, env) -> Any:
+        return not self._value_of(ins.x, env)
+
+    def _exec_neg(self, ins: Neg, env) -> Any:
+        return wrap64(-self._value_of(ins.x, env))
+
+    def _exec_new(self, ins: New, env) -> Any:
+        decl = self.program.class_table.lookup(ins.object_type.class_name)
+        return HeapObject(
+            decl.name, {f.name: f.type.default_value() for f in decl.fields}
+        )
+
+    def _exec_load_field(self, ins: LoadField, env) -> Any:
+        obj = self._value_of(ins.obj, env)
+        if obj is None:
+            raise EvaluationTrap(f"null dereference reading .{ins.field}")
+        return obj.fields[ins.field]
+
+    def _exec_store_field(self, ins: StoreField, env) -> Any:
+        obj = self._value_of(ins.obj, env)
+        if obj is None:
+            raise EvaluationTrap(f"null dereference writing .{ins.field}")
+        obj.fields[ins.field] = self._value_of(ins.value, env)
+        return None
+
+    def _exec_load_global(self, ins: LoadGlobal, env) -> Any:
+        return self.state.globals[ins.global_name]
+
+    def _exec_store_global(self, ins: StoreGlobal, env) -> Any:
+        self.state.globals[ins.global_name] = self._value_of(ins.value, env)
+        return None
+
+    def _exec_new_array(self, ins: NewArray, env) -> Any:
+        length = self._value_of(ins.length, env)
+        if length < 0:
+            raise EvaluationTrap(f"negative array length {length}")
+        return HeapArray([ins.element_type.default_value()] * length)
+
+    def _exec_array_load(self, ins: ArrayLoad, env) -> Any:
+        array = self._value_of(ins.array, env)
+        index = self._value_of(ins.index, env)
+        self._check_array(array, index)
+        return array.values[index]
+
+    def _exec_array_store(self, ins: ArrayStore, env) -> Any:
+        array = self._value_of(ins.array, env)
+        index = self._value_of(ins.index, env)
+        self._check_array(array, index)
+        array.values[index] = self._value_of(ins.value, env)
+        return None
+
+    def _exec_array_length(self, ins: ArrayLength, env) -> Any:
+        array = self._value_of(ins.array, env)
+        if array is None:
+            raise EvaluationTrap("null dereference in len()")
+        return len(array.values)
+
+    def _exec_call(self, ins: Call, env) -> Any:
+        callee = self.program.function(ins.callee)
+        return self._call(callee, [self._value_of(a, env) for a in ins.args])
+
+    def _exec_phi(self, ins: Phi, env) -> Any:  # pragma: no cover
+        raise AssertionError("phi reached instruction loop")
 
     @staticmethod
     def _check_array(array: Any, index: Any) -> None:
@@ -294,6 +320,36 @@ class Interpreter:
             raise EvaluationTrap("null array access")
         if not 0 <= index < len(array.values):
             raise EvaluationTrap(f"array index {index} out of bounds")
+
+
+#: type-keyed dispatch table; _resolve_handler fills in subclasses lazily
+_EXEC_HANDLERS: dict[type, Callable] = {
+    ArithOp: Interpreter._exec_arith,
+    Compare: Interpreter._exec_compare,
+    Not: Interpreter._exec_not,
+    Neg: Interpreter._exec_neg,
+    New: Interpreter._exec_new,
+    LoadField: Interpreter._exec_load_field,
+    StoreField: Interpreter._exec_store_field,
+    LoadGlobal: Interpreter._exec_load_global,
+    StoreGlobal: Interpreter._exec_store_global,
+    NewArray: Interpreter._exec_new_array,
+    ArrayLoad: Interpreter._exec_array_load,
+    ArrayStore: Interpreter._exec_array_store,
+    ArrayLength: Interpreter._exec_array_length,
+    Call: Interpreter._exec_call,
+    Phi: Interpreter._exec_phi,
+}
+
+
+def _resolve_handler(cls: type) -> Callable:
+    """MRO-walking fallback for node subclasses; memoizes the result."""
+    for base in cls.__mro__:
+        handler = _EXEC_HANDLERS.get(base)
+        if handler is not None:
+            _EXEC_HANDLERS[cls] = handler
+            return handler
+    raise AssertionError(f"cannot execute {cls.__name__}")
 
 
 class ProfileCollector:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Iterable
 
 from ..ir.graph import Program
-from ..ir.loops import DEFAULT_TRIP_COUNT, LoopForest
+from ..ir.loops import DEFAULT_TRIP_COUNT
 from ..ir.nodes import If
 from .interpreter import Interpreter, ProfileCollector
 
@@ -47,7 +47,7 @@ def apply_profile(program: Program, collector: ProfileCollector) -> None:
                 p = collector.true_probability(term)
                 if p is not None:
                     term.true_probability = min(max(p, 0.01), 0.99)
-        forest = LoopForest(graph)
+        forest = graph.loop_forest()
         for loop in forest.loops:
             header_runs = collector.block_counts.get(loop.header, 0)
             entries = sum(
@@ -57,6 +57,9 @@ def apply_profile(program: Program, collector: ProfileCollector) -> None:
             )
             if header_runs and entries:
                 loop.header.profile_trip_count = max(header_runs / entries, 1.0)
+        # Probabilities and trip counts feed the frequency analysis (and
+        # LoopForest snapshots trip counts at build time): recompute.
+        graph.invalidate_analyses()
 
 
 def profiled_trip_count(block) -> float:

@@ -54,6 +54,7 @@ class Block:
         appended by the caller via :meth:`Phi._append_input` helpers —
         the verifier enforces consistency."""
         self.predecessors.append(pred)
+        self.graph.invalidate_analyses()
 
     def remove_predecessor(self, pred: "Block") -> int:
         """Unregister the (unique) edge from ``pred`` and drop the
@@ -63,6 +64,7 @@ class Block:
         del self.predecessors[index]
         for phi in self.phis:
             phi._remove_input_at(index)
+        self.graph.invalidate_analyses()
         return index
 
     def predecessor_index(self, pred: "Block") -> int:

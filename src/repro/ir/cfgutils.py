@@ -74,6 +74,7 @@ def insert_block_on_edge(graph: Graph, pred: Block, succ: Block) -> Block:
     goto = Goto(succ)
     goto.block = edge_block
     edge_block.terminator = goto
+    graph.invalidate_analyses()  # low-level edits above bypass the hooks
     return edge_block
 
 
@@ -155,6 +156,7 @@ def merge_straightline_blocks(graph: Graph) -> int:
                 i = t.predecessor_index(succ)
                 t.predecessors[i] = block
             graph.blocks.remove(succ)
+            graph.invalidate_analyses()  # direct edge rewrite above
             count += 1
             changed = True
     return count

@@ -27,6 +27,9 @@ class Graph:
         self.name = name
         self.return_type = return_type
         self._block_ids = 0
+        #: lazily computed CFG analyses (dominators/loops/frequency);
+        #: cleared by invalidate_analyses at every CFG mutation point
+        self._analysis_cache: dict = {}
         self.blocks: list[Block] = []
         self.parameters: list[Parameter] = [
             Parameter(i, pname, ty) for i, (pname, ty) in enumerate(param_specs)
@@ -44,6 +47,7 @@ class Graph:
     def new_block(self, name: Optional[str] = None) -> Block:
         block = Block(self, name)
         self.blocks.append(block)
+        self.invalidate_analyses()
         return block
 
     def remove_block(self, block: Block) -> None:
@@ -62,6 +66,60 @@ class Graph:
         block.phis.clear()
         block.instructions.clear()
         self.blocks.remove(block)
+        self.invalidate_analyses()
+
+    # ------------------------------------------------------------------
+    # Cached CFG analyses
+    # ------------------------------------------------------------------
+    def invalidate_analyses(self) -> None:
+        """Drop every cached analysis; called at CFG mutation points
+        (edge/block changes, profile application)."""
+        cache = self._analysis_cache
+        if cache:
+            cache.clear()
+
+    def dominator_tree(self):
+        """The (cached) dominator tree of the current CFG."""
+        tree = self._analysis_cache.get("dominators")
+        if tree is None:
+            from ..obs.tracer import current_tracer
+            from .dominators import DominatorTree
+
+            current_tracer().count("analysis.dominators")
+            tree = DominatorTree(self)
+            self._analysis_cache["dominators"] = tree
+        return tree
+
+    def loop_forest(self):
+        """The (cached) natural-loop forest of the current CFG."""
+        forest = self._analysis_cache.get("loops")
+        if forest is None:
+            from ..obs.tracer import current_tracer
+            from .loops import LoopForest
+
+            current_tracer().count("analysis.loops")
+            forest = LoopForest(self, self.dominator_tree())
+            self._analysis_cache["loops"] = forest
+        return forest
+
+    def block_frequencies(self):
+        """The (cached) profile-driven block frequencies."""
+        freqs = self._analysis_cache.get("frequency")
+        if freqs is None:
+            from ..obs.tracer import current_tracer
+            from .frequency import BlockFrequencies
+
+            current_tracer().count("analysis.frequency")
+            freqs = BlockFrequencies(self, self.loop_forest())
+            self._analysis_cache["frequency"] = freqs
+        return freqs
+
+    def __getstate__(self) -> dict:
+        # Cached analyses are snapshots full of cross-references; a
+        # rehydrated graph recomputes them on demand instead.
+        state = self.__dict__.copy()
+        state["_analysis_cache"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Constants

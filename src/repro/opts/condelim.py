@@ -128,7 +128,7 @@ class ConditionalEliminationPhase(Phase):
         return folded
 
     def _run_traversal(self, graph: Graph) -> int:
-        dom = DominatorTree(graph)
+        dom = graph.dominator_tree()
         facts = FactScope()
         #: If terminators to fold: (block, decided outcome)
         decisions: list[tuple[Block, bool]] = []

@@ -16,7 +16,6 @@ that turned out identical.
 
 from __future__ import annotations
 
-from ..ir.dominators import DominatorTree
 from ..ir.graph import Graph
 from ..ir.nodes import ArithOp, Compare, Instruction, Neg, Not, Phi, Value
 from .base import Phase
@@ -44,7 +43,7 @@ class GlobalValueNumberingPhase(Phase):
     name = "global-value-numbering"
 
     def run(self, graph: Graph) -> int:
-        dom = DominatorTree(graph)
+        dom = graph.dominator_tree()
         available: dict[object, Value] = {}
         eliminated = 0
 

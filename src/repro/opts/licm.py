@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from ..ir.block import Block
 from ..ir.graph import Graph
-from ..ir.loops import Loop, LoopForest
+from ..ir.loops import Loop
 from ..ir.nodes import ArithOp, Compare, Goto, Instruction, Neg, Not
 from .base import Phase
 
@@ -34,7 +34,7 @@ class LoopInvariantCodeMotionPhase(Phase):
     name = "loop-invariant-code-motion"
 
     def run(self, graph: Graph) -> int:
-        forest = LoopForest(graph)
+        forest = graph.loop_forest()
         hoisted = 0
         # Innermost loops first: larger depth first.
         for loop in sorted(forest.loops, key=lambda l: -l.depth):

@@ -26,7 +26,6 @@ from ..ir.cfgutils import (
     split_critical_edges,
 )
 from ..ir.copy import clone_instruction, clone_terminator
-from ..ir.dominators import DominatorTree
 from ..ir.graph import Graph
 from .base import Phase
 from ..ir.loops import Loop, LoopForest
@@ -178,7 +177,7 @@ def peel_loop(graph: Graph, loop: Loop) -> dict[Value, Value]:
     # ------------------------------------------------------------------
     # G. SSA repair for loop-defined values used beyond the loop.
     # ------------------------------------------------------------------
-    dom = DominatorTree(graph)
+    dom = graph.dominator_tree()
     peeled_blocks = set(block_map.values())
 
     for block in list(loop_blocks):
@@ -249,7 +248,7 @@ class LoopPeelingPhase(Phase):
     def run(self, graph: Graph) -> int:
         peeled = 0
         while peeled < self.max_peels:
-            forest = LoopForest(graph)
+            forest = graph.loop_forest()
             candidate = self._pick(graph, forest)
             if candidate is None:
                 break

@@ -24,6 +24,7 @@ from .cache import (
 from .compiler import (
     CompilationReport,
     Compiler,
+    ENGINES,
     UnitMetrics,
     compile_and_profile,
     measure_performance,
@@ -51,6 +52,7 @@ __all__ = [
     "CONFIGURATIONS",
     "DBDS",
     "DUPALOT",
+    "ENGINES",
     "FileResult",
     "UnitMetrics",
     "artifact_manifest",

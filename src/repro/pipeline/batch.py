@@ -87,9 +87,14 @@ class FileResult:
         return self.error is None and not self.check_failures
 
     def program(self) -> Program:
-        import pickle
+        from .cache import unpack_artifact
 
-        return pickle.loads(self.program_blob)
+        return unpack_artifact(self.program_blob)[0]
+
+    def bytecode(self):
+        from .cache import unpack_artifact
+
+        return unpack_artifact(self.program_blob)[1]
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -223,16 +228,15 @@ def _compile_worker(task: dict[str, Any]) -> dict[str, Any]:
     except Exception as exc:
         result["error"] = f"{type(exc).__name__}: {exc}"
         return result
-    import pickle
-
-    from .cache import PICKLE_PROTOCOL, artifact_manifest
+    from ..vm import translate_program
+    from .cache import artifact_manifest, pack_artifact
 
     result.update(
         report=report.to_json(),
         manifest=artifact_manifest(program, report, tracer.events),
         events=[event_to_dict(e) for e in tracer.events],
         counters=dict(tracer.counters),
-        program_blob=pickle.dumps(program, protocol=PICKLE_PROTOCOL),
+        program_blob=pack_artifact(program, translate_program(program)),
         check_failures=[
             failure.format_blame() for failure in compiler.guard.failures
         ]

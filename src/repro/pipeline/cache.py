@@ -48,7 +48,7 @@ from .compiler import CompilationReport
 from .config import CompilerConfig
 
 #: bump when the on-disk payload layout changes (invalidates old dirs)
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 #: pickle protocol pinned so parent and pool workers agree
 PICKLE_PROTOCOL = 4
@@ -186,10 +186,12 @@ def manifest_digest(manifest: dict[str, Any]) -> str:
 class CacheEntry:
     """Everything needed to skip a recompile.
 
-    ``program_blob`` is the pickled optimized :class:`Program`;
-    ``events`` is the original compilation's full trace (so ``repro
-    explain``-style decision rendering works offline from cache);
-    ``counters`` is the original tracer's counter table.
+    ``program_blob`` is the packed artifact — the pickled optimized
+    :class:`Program` together with its VM bytecode translation (see
+    :func:`pack_artifact`); ``events`` is the original compilation's
+    full trace (so ``repro explain``-style decision rendering works
+    offline from cache); ``counters`` is the original tracer's counter
+    table.
     """
 
     key: str
@@ -198,10 +200,25 @@ class CacheEntry:
     program_blob: bytes
     events: list[Event] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
+    #: memoized (program, bytecode) pair — unpickling is not free and
+    #: callers ask for both halves of the same blob
+    _artifact: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def _unpack(self) -> tuple:
+        if self._artifact is None:
+            self._artifact = unpack_artifact(self.program_blob)
+        return self._artifact
 
     def program(self) -> Program:
         """Rehydrate the optimized program."""
-        return pickle.loads(self.program_blob)
+        return self._unpack()[0]
+
+    def bytecode(self):
+        """The VM translation of the program, or ``None`` for entries
+        written before bytecode was cached (schema < 2 blobs)."""
+        return self._unpack()[1]
 
     # -- serialization --------------------------------------------------
     def to_payload(self) -> dict[str, Any]:
@@ -226,20 +243,45 @@ class CacheEntry:
         )
 
 
+def pack_artifact(program: Program, bytecode: Any = None) -> bytes:
+    """Pickle ``(program, bytecode)`` as ONE blob.
+
+    A single pickle keeps the node identity shared between the graphs
+    and the bytecode (instruction tuples reference IR nodes for
+    observers/profiles); two separate blobs would rehydrate two
+    disconnected copies.
+    """
+    return pickle.dumps((program, bytecode), protocol=PICKLE_PROTOCOL)
+
+
+def unpack_artifact(blob: bytes) -> tuple[Program, Any]:
+    """Inverse of :func:`pack_artifact`; tolerates pre-schema-2 blobs
+    that pickled a bare :class:`Program` (bytecode comes back None)."""
+    obj = pickle.loads(blob)
+    if isinstance(obj, Program):
+        return obj, None
+    return obj
+
+
 def make_entry(
     key: str,
     program: Program,
     report: CompilationReport,
     events: Iterable[Event] = (),
     counters: Optional[dict[str, int]] = None,
+    bytecode: Any = None,
 ) -> CacheEntry:
-    """Build an entry from a just-finished compilation."""
+    """Build an entry from a just-finished compilation.
+
+    Pass the VM ``bytecode`` translation to persist it alongside the
+    program — cache hits then skip both the compile and the translate.
+    """
     events = list(events)
     return CacheEntry(
         key=key,
         manifest=artifact_manifest(program, report, events),
         report=report,
-        program_blob=pickle.dumps(program, protocol=PICKLE_PROTOCOL),
+        program_blob=pack_artifact(program, bytecode),
         events=events,
         counters=dict(counters or {}),
     )

@@ -277,24 +277,47 @@ def compile_and_profile(
     return program, report
 
 
+#: Execution engines usable for measurement runs.
+ENGINES = ("reference", "vm")
+
+
 def measure_performance(
     program: Program,
     entry: str,
     arg_sets: Iterable[list[Any]],
     max_steps: int = 50_000_000,
+    engine: str = "reference",
+    bytecode: Any = None,
 ) -> tuple[float, list[ExecutionResult]]:
-    """Simulated peak performance: total cost-model cycles over runs."""
-    interpreter = Interpreter(
-        program,
-        max_steps=max_steps,
-        cycle_cost=cycles_of,
-        terminator_cost=cycles_of,
-    )
+    """Simulated peak performance: total cost-model cycles over runs.
+
+    ``engine`` selects the executor: the ``reference`` tree-walking
+    interpreter or the ``vm`` bytecode engine (pass a pre-translated
+    ``bytecode`` program to skip re-translation, e.g. from a cache hit).
+    Both engines report identical cycles/steps/outcomes by construction.
+    """
+    if engine == "vm":
+        from ..vm import VirtualMachine, translate_program
+
+        runner = VirtualMachine(
+            bytecode if bytecode is not None else translate_program(program),
+            max_steps=max_steps,
+            metered=True,
+        )
+    elif engine == "reference":
+        runner = Interpreter(
+            program,
+            max_steps=max_steps,
+            cycle_cost=cycles_of,
+            terminator_cost=cycles_of,
+        )
+    else:
+        raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
     results = []
     total = 0.0
     for args in arg_sets:
-        interpreter.reset()
-        result = interpreter.run(entry, list(args))
+        runner.reset()
+        result = runner.run(entry, list(args))
         results.append(result)
         total += result.cycles
     return total, results

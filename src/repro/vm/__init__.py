@@ -1,0 +1,31 @@
+"""Register-based bytecode VM for optimized IR programs.
+
+The reference interpreter (:mod:`repro.interp`) walks the SSA graph
+instruction object by instruction object, so benchmark wall-clock is
+dominated by Python dispatch overhead rather than by the work the
+program does.  This package compiles a :class:`~repro.ir.graph.Program`
+into flat, pre-decoded bytecode — dense register slots instead of a
+``dict[Value, Any]`` environment, constants materialized at translation
+time, phis lowered to per-edge parallel-copy move sequences, branch
+targets resolved to instruction indices — and executes it with a
+per-opcode handler table.
+
+Semantics are bit-for-bit those of the reference interpreter: shared
+heap/trap/outcome types, identical trap messages, identical step
+accounting and budget behaviour, identical :class:`ProfileCollector`
+and observer hooks.  ``repro check --diff-engines`` and the
+``tests/test_vm`` differential suite enforce this; see docs/VM.md.
+"""
+
+from .bytecode import BytecodeFunction, BytecodeProgram, disassemble
+from .machine import VirtualMachine
+from .translate import translate_graph, translate_program
+
+__all__ = [
+    "BytecodeFunction",
+    "BytecodeProgram",
+    "VirtualMachine",
+    "disassemble",
+    "translate_graph",
+    "translate_program",
+]

@@ -1,0 +1,73 @@
+"""Engine differential suite: the VM against the reference interpreter.
+
+Every bundled example program and a corpus of seeded mutants (the
+template-extraction mutation operators of :mod:`repro.analysis.progen`
+applied to the examples) run on both engines after a full DBDS compile;
+observable outcomes, trap messages and step counts must be identical.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.progen import mutated_program
+from repro.analysis.validate import SCREEN_STEP_BUDGET, _screen_mutant, validate_engines
+from repro.costmodel.model import cycles_of
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import Interpreter, observable_outcome
+from repro.vm import VirtualMachine, translate_program
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent.parent / "examples").rglob("*.mini")
+)
+EXAMPLE_ARGS = [[0], [1], [4], [7]]
+
+#: seeded mutants per corpus sweep — comfortably above the 50-mutant
+#: floor even after step-budget screening skips a few
+MUTANT_COUNT = 64
+MUTANT_ARGS = [[0], [2], [5]]
+
+
+def test_examples_present():
+    assert EXAMPLES, "expected bundled .mini examples"
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_examples_identical_on_both_engines(path):
+    result = validate_engines(path.read_text(), "main", EXAMPLE_ARGS)
+    assert result.ok, "\n".join(r.format() for r in result.divergences)
+
+
+@pytest.mark.parametrize("seed", range(MUTANT_COUNT))
+def test_mutants_identical_on_both_engines(seed):
+    corpus = [p.read_text() for p in EXAMPLES]
+    mutant = mutated_program(seed, corpus, mutations=2)
+    if not _screen_mutant(mutant.source, "main", MUTANT_ARGS, SCREEN_STEP_BUDGET):
+        pytest.skip("mutant exceeds the screening step budget")
+    result = validate_engines(mutant.source, "main", MUTANT_ARGS, seed=seed)
+    assert result.ok, (
+        f"[{mutant.base}: {', '.join(mutant.applied) or 'unchanged'}]\n"
+        + "\n".join(r.format() for r in result.divergences)
+    )
+
+
+def test_unoptimized_programs_also_agree():
+    # The differential holds for raw front-end output too, not only for
+    # the optimized pipeline product validate_engines exercises.
+    for path in EXAMPLES:
+        program = compile_source(path.read_text())
+        reference = Interpreter(
+            program, cycle_cost=cycles_of, terminator_cost=cycles_of
+        )
+        vm = VirtualMachine(translate_program(program), metered=True)
+        for args in EXAMPLE_ARGS:
+            reference.reset()
+            vm.reset()
+            ref = reference.run("main", list(args))
+            out = vm.run("main", list(args))
+            assert observable_outcome(ref, reference.state) == observable_outcome(
+                out, vm.state
+            )
+            assert (ref.steps, ref.cycles) == (out.steps, out.cycles)
