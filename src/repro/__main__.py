@@ -7,6 +7,7 @@ Usage::
     python -m repro trace program.mini --config dbds --out trace.jsonl
     python -m repro bench --suite micro --profile-compile
     python -m repro check examples/ --check-ir=each-phase --fuzz 20
+    python -m repro profile program.mini --top 5 --collapsed out.folded
 
 ``run`` JIT-compiles (profile run + optimization) and executes, printing
 the result and the simulated cycle count.  ``compile`` prints per-unit
@@ -24,28 +25,45 @@ profile); see docs/OBSERVABILITY.md.  ``run`` and ``compile`` accept
 accept ``--engine={reference,vm}`` to pick the executor; ``bench
 --engine-report FILE`` writes a reference-vs-VM comparison and ``check
 --diff-engines``/``--fuzz-engines N`` differentially validate the VM
-(docs/VM.md).
+(docs/VM.md).  ``profile`` (and ``run``/``bench --profile-run``)
+executes under the profiling VM and prints per-opcode/function/block
+hot-path tables; ``run``, ``batch``, ``bench`` and ``check`` accept
+``--metrics-out FILE``/``--metrics-prom FILE`` to export the unified
+metrics snapshot; ``bench --append-trajectory``/``--check-regression``
+maintain the committed perf trajectory (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import pathlib
 import sys
 
 from .analysis.blame import CHECK_EACH_PHASE, CHECK_MODES, CHECK_OFF, PhaseBlameError
 from .bench.harness import format_suite_report, run_suite, suite_report_json
+from .bench.trajectory import (
+    DEFAULT_REGRESSION_THRESHOLD,
+    DEFAULT_TRAJECTORY_PATH,
+)
 from .bench.workloads.suites import ALL_SUITES
 from .frontend.irbuilder import compile_source
 from .interp.interpreter import Interpreter
 from .interp.profile import apply_profile, profile_program
-from .obs import CompileProfile, Tracer, write_jsonl
+from .obs import (
+    NULL_REGISTRY,
+    CompileProfile,
+    MetricsRegistry,
+    Tracer,
+    use_registry,
+    write_jsonl,
+)
 from .pipeline.batch import BatchOptions, compile_batch
 from .pipeline.cache import ArtifactCache, cache_key, make_entry
 from .pipeline.compiler import Compiler, ENGINES, measure_performance
 from .pipeline.config import CONFIGURATIONS
-from .vm import translate_program
+from .vm import VMProfile, profile_run, translate_program
 
 #: default on-disk cache location of the ``batch`` verb
 DEFAULT_CACHE_DIR = pathlib.Path(".repro-cache")
@@ -193,6 +211,83 @@ def _emit_observability(args: argparse.Namespace, tracer: Tracer | None) -> None
         print(CompileProfile.from_tracer(tracer).format())
 
 
+def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the metrics snapshot as JSON (docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--metrics-prom",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the metrics snapshot in Prometheus text format",
+    )
+
+
+def _make_registry(args: argparse.Namespace) -> MetricsRegistry:
+    """A recording registry when any metrics output was asked, else the
+    ambient null registry (instrumentation stays free)."""
+    if args.metrics_out is not None or args.metrics_prom is not None:
+        return MetricsRegistry()
+    return NULL_REGISTRY
+
+
+def _emit_metrics(args: argparse.Namespace, registry: MetricsRegistry) -> None:
+    if not registry.enabled:
+        return
+    snapshot = registry.snapshot()
+    if args.metrics_out is not None:
+        args.metrics_out.write_text(
+            json.dumps(snapshot.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"metrics: -> {args.metrics_out}", file=sys.stderr)
+    if args.metrics_prom is not None:
+        args.metrics_prom.write_text(snapshot.render_prometheus())
+        print(f"metrics: -> {args.metrics_prom}", file=sys.stderr)
+
+
+def _with_metrics(impl):
+    """Run a command under its own metrics registry and export on exit.
+
+    Every verb decorated here gains ``--metrics-out``/``--metrics-prom``
+    (added by :func:`_add_metrics_flags`); instrumented layers find the
+    registry through the ambient ``current_registry()`` exactly like
+    they find the tracer.
+    """
+
+    @functools.wraps(impl)
+    def wrapper(args: argparse.Namespace) -> int:
+        registry = _make_registry(args)
+        with use_registry(registry):
+            code = impl(args)
+        _emit_metrics(args, registry)
+        return code
+
+    return wrapper
+
+
+def _emit_vm_profile(
+    vmprofile: VMProfile, cycles: float, top: int = 10
+) -> bool:
+    """Print the profile tables plus the cycle-reconciliation line;
+    returns whether the per-opcode cycle sum matches the metered total."""
+    print()
+    print(vmprofile.format(top=top))
+    ok = vmprofile.reconciles(cycles)
+    verdict = "exact" if ok else "MISMATCH"
+    print()
+    print(
+        f"reconciliation  : per-opcode cycles {vmprofile.total_cycles:.0f} "
+        f"vs metered total {cycles:.0f} -> {verdict}"
+    )
+    return ok
+
+
+@_with_metrics
 def cmd_run(args: argparse.Namespace) -> int:
     source = args.source.read_text()
     config = CONFIGURATIONS[args.config]
@@ -237,10 +332,19 @@ def cmd_run(args: argparse.Namespace) -> int:
                 ),
                 tracer,
             )
-    cycles, results = measure_performance(
-        program, args.entry, [args.args],
-        engine=args.engine, bytecode=bytecode,
-    )
+    vmprofile = None
+    if args.profile_run:
+        # Profiling implies the VM: the profiler is a specialization of
+        # its metered dispatch loop, so cycles match --engine=vm runs.
+        cycles, results, vmprofile = profile_run(
+            program, entry=args.entry, arg_sets=[tuple(args.args)],
+            bytecode=bytecode,
+        )
+    else:
+        cycles, results = measure_performance(
+            program, args.entry, [args.args],
+            engine=args.engine, bytecode=bytecode,
+        )
     result = results[0]
     if result.trapped:
         print(f"trap: {result.trap}", file=sys.stderr)
@@ -254,6 +358,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("compiled from   : cache", file=sys.stderr)
     _emit_observability(args, tracer)
     _emit_cache_stats(args, cache)
+    if vmprofile is not None and not _emit_vm_profile(vmprofile, cycles):
+        return 1
     return 0
 
 
@@ -433,6 +539,7 @@ def _check_program_sweeps(
     return failures
 
 
+@_with_metrics
 def cmd_check(args: argparse.Namespace) -> int:
     """Checked compiles plus optional LIR/dynamic/fuzz validation."""
     config = CONFIGURATIONS[args.config]
@@ -486,6 +593,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+@_with_metrics
 def cmd_batch(args: argparse.Namespace) -> int:
     """Parallel batch compilation with the persistent artifact cache."""
     config = CONFIGURATIONS[args.config]
@@ -518,6 +626,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+@_with_metrics
 def cmd_bench(args: argparse.Namespace) -> int:
     profile = ALL_SUITES[args.suite]
     profile_phases = args.profile_compile or args.trace_out is not None
@@ -530,6 +639,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.trace_out is not None:
         args.trace_out.write_text(json.dumps(suite_report_json(report), indent=2))
         print(f"suite report -> {args.trace_out}", file=sys.stderr)
+    comparison = None
     if args.engine_report is not None:
         from .bench.engines import compare_engines
 
@@ -541,8 +651,119 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"engine report -> {args.engine_report}", file=sys.stderr)
         if not comparison.all_match:
             return 1
+    if args.profile_run:
+        code = _bench_profile_run(args, profile)
+        if code:
+            return code
+    if args.append_trajectory is not None or args.check_regression is not None:
+        code = _bench_trajectory(args, report, comparison)
+        if code:
+            return code
     _emit_cache_stats(args, cache)
     return 0
+
+
+def _bench_profile_run(args: argparse.Namespace, profile) -> int:
+    """Aggregate a VM execution profile across the suite's measured runs
+    (compiled fresh under the DBDS configuration)."""
+    from .bench.workloads.suites import generate_suite
+    from .pipeline.compiler import compile_and_profile
+
+    vmprofile = VMProfile()
+    total = 0.0
+    for workload in generate_suite(profile, args.seed):
+        program, _ = compile_and_profile(
+            workload.source, workload.entry, workload.profile_args,
+            CONFIGURATIONS["dbds"],
+        )
+        cycles, _, _ = profile_run(
+            program, entry=workload.entry,
+            arg_sets=[tuple(a) for a in workload.measure_args],
+            vmprofile=vmprofile,
+        )
+        total += cycles
+    print()
+    print(f"=== VM execution profile: {profile.suite} suite, dbds config ===")
+    return 0 if _emit_vm_profile(vmprofile, total) else 1
+
+
+def _bench_trajectory(args: argparse.Namespace, report, comparison) -> int:
+    """Gate against, then append to, the committed perf trajectory.
+
+    The regression check runs *before* the append so a failing run never
+    pollutes the history it is being judged against."""
+    from .bench.trajectory import (
+        append_trajectory,
+        check_regression,
+        load_trajectory,
+        trajectory_entry,
+    )
+
+    entry = trajectory_entry(
+        report,
+        seed=args.seed,
+        vm_median_speedup=(
+            comparison.median_speedup if comparison is not None else None
+        ),
+    )
+    if args.check_regression is not None:
+        trajectory = load_trajectory(args.check_regression)
+        failures = check_regression(
+            trajectory, entry, args.regression_threshold
+        )
+        for failure in failures:
+            print(f"regression: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"regression check: ok against {args.check_regression}",
+            file=sys.stderr,
+        )
+    if args.append_trajectory is not None:
+        trajectory = append_trajectory(args.append_trajectory, entry)
+        print(
+            f"trajectory: {len(trajectory['entries'])} entries "
+            f"-> {args.append_trajectory}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+@_with_metrics
+def cmd_profile(args: argparse.Namespace) -> int:
+    """JIT-compile, execute under the profiling VM, print hot paths."""
+    source = args.source.read_text()
+    config = CONFIGURATIONS[args.config]
+    try:
+        program, report, guard = _jit_compile(
+            source, args.entry, [args.args], config, None,
+            args.check_ir, args.fail_fast,
+        )
+    except PhaseBlameError as exc:
+        print(exc.format_blame(), file=sys.stderr)
+        return 1
+    if _report_guard_failures(guard):
+        return 1
+    cycles, results, vmprofile = profile_run(
+        program, entry=args.entry, arg_sets=[tuple(args.args)]
+    )
+    result = results[0]
+    if result.trapped:
+        print(f"trap: {result.trap}", file=sys.stderr)
+        return 1
+    print(f"result          : {result.value}")
+    print(f"simulated cycles: {cycles:.0f}")
+    print(f"compile time    : {report.total_compile_time * 1e3:.2f} ms")
+    ok = _emit_vm_profile(vmprofile, cycles, top=args.top)
+    if args.collapsed is not None:
+        args.collapsed.write_text(vmprofile.collapsed())
+        print(f"collapsed stacks -> {args.collapsed}", file=sys.stderr)
+    if args.json is not None:
+        args.json.write_text(
+            json.dumps(vmprofile.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"profile json -> {args.json}", file=sys.stderr)
+    return 0 if ok else 1
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -608,9 +829,41 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(run_parser)
     _add_engine_flag(run_parser)
     _add_observability(run_parser)
+    _add_metrics_flags(run_parser)
     _add_check_flags(run_parser)
     _add_cache_flags(run_parser)
+    run_parser.add_argument(
+        "--profile-run",
+        action="store_true",
+        help="execute under the profiling VM and print hot-path tables "
+        "(implies the VM engine; see docs/OBSERVABILITY.md)",
+    )
     run_parser.set_defaults(func=cmd_run)
+
+    profile_parser = sub.add_parser(
+        "profile", help="execute under the profiling VM, print hot paths"
+    )
+    _add_common(profile_parser)
+    _add_check_flags(profile_parser)
+    _add_metrics_flags(profile_parser)
+    profile_parser.add_argument(
+        "--top", type=int, default=10, help="rows per profile table"
+    )
+    profile_parser.add_argument(
+        "--collapsed",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write collapsed call stacks (flamegraph.pl / speedscope input)",
+    )
+    profile_parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the full profile as JSON",
+    )
+    profile_parser.set_defaults(func=cmd_profile)
 
     batch_parser = sub.add_parser(
         "batch", help="compile many files in parallel, artifact-cached"
@@ -648,6 +901,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_check_flags(batch_parser)
     _add_cache_flags(batch_parser, default_dir=DEFAULT_CACHE_DIR)
     _add_observability(batch_parser)
+    _add_metrics_flags(batch_parser)
     batch_parser.set_defaults(func=cmd_batch)
 
     compile_parser = sub.add_parser("compile", help="compile and show metrics")
@@ -758,6 +1012,7 @@ def main(argv: list[str] | None = None) -> int:
         "(reference interpreter vs bytecode VM)",
     )
     _add_observability(check_parser)
+    _add_metrics_flags(check_parser)
     _add_cache_flags(check_parser)
     check_parser.set_defaults(func=cmd_check)
 
@@ -774,7 +1029,41 @@ def main(argv: list[str] | None = None) -> int:
         "(reference vs VM wall times, speedup, outcome equality)",
     )
     _add_observability(bench_parser)
+    _add_metrics_flags(bench_parser)
     _add_cache_flags(bench_parser)
+    bench_parser.add_argument(
+        "--profile-run",
+        action="store_true",
+        help="also aggregate a VM execution profile over the suite's "
+        "measured runs (dbds config)",
+    )
+    bench_parser.add_argument(
+        "--append-trajectory",
+        type=pathlib.Path,
+        nargs="?",
+        const=DEFAULT_TRAJECTORY_PATH,
+        default=None,
+        metavar="FILE",
+        help="append this run to the committed perf trajectory "
+        f"(default file: {DEFAULT_TRAJECTORY_PATH})",
+    )
+    bench_parser.add_argument(
+        "--check-regression",
+        type=pathlib.Path,
+        nargs="?",
+        const=DEFAULT_TRAJECTORY_PATH,
+        default=None,
+        metavar="FILE",
+        help="fail when per-config median cycles regress beyond the "
+        "threshold against the last comparable trajectory entry",
+    )
+    bench_parser.add_argument(
+        "--regression-threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        metavar="FRAC",
+        help="tolerated relative median-cycles growth (default: %(default)s)",
+    )
     bench_parser.set_defaults(func=cmd_bench)
 
     evaluate_parser = sub.add_parser(

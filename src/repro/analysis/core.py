@@ -32,6 +32,7 @@ from ..ir.dominators import DominatorTree
 from ..ir.frequency import BlockFrequencies
 from ..ir.graph import Graph
 from ..ir.loops import LoopForest
+from ..obs.metrics import current_registry
 from ..obs.tracer import current_tracer
 
 SCOPE_IR = "ir"
@@ -288,6 +289,12 @@ def _execute(
         if found:
             tracer.count(f"analysis.checker.{chk.name}.violations", found)
             tracer.count(f"analysis.checker.{chk.name}.fail")
+            registry = current_registry()
+            for violation in ctx.violations[before:]:
+                registry.inc(
+                    "repro_analysis_violations_total",
+                    severity=violation.severity.value,
+                )
         else:
             tracer.count(f"analysis.checker.{chk.name}.pass")
         if stop:

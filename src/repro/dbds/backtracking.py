@@ -18,6 +18,7 @@ from typing import Optional
 from ..costmodel.estimator import graph_code_size
 from ..ir.copy import copy_graph
 from ..ir.graph import Graph, Program
+from ..obs.metrics import current_registry
 from ..opts.canonicalize import CanonicalizerPhase
 from ..opts.condelim import ConditionalEliminationPhase
 from ..opts.pea import PartialEscapeAnalysisPhase
@@ -50,6 +51,24 @@ class BacktrackingDuplication:
         self.stats = BacktrackingStats()
 
     def run(self, graph: Graph) -> Graph:
+        kept_before = self.stats.kept
+        rolled_before = self.stats.rolled_back
+        try:
+            return self._run(graph)
+        finally:
+            registry = current_registry()
+            kept = self.stats.kept - kept_before
+            rolled = self.stats.rolled_back - rolled_before
+            if kept:
+                registry.inc(
+                    "repro_dbds_backtrack_total", kept, outcome="kept"
+                )
+            if rolled:
+                registry.inc(
+                    "repro_dbds_backtrack_total", rolled, outcome="rolled_back"
+                )
+
+    def _run(self, graph: Graph) -> Graph:
         initial_size = graph_code_size(graph)
         size_limit = initial_size * self.size_budget_factor
         # Index of the next predecessor-merge pair to try.  A rollback

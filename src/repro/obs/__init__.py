@@ -16,6 +16,20 @@ Typical use::
     write_jsonl(tracer, "trace.jsonl")
 """
 
+from .metrics import (
+    BYTES_BUCKETS,
+    HISTOGRAM_BUCKETS,
+    NULL_REGISTRY,
+    SECONDS_BUCKETS,
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetricsRegistry,
+    current_registry,
+    exponential_buckets,
+    merge_snapshots,
+    use_registry,
+)
 from .profile import CompileProfile, PhaseStat
 from .sinks import (
     TraceSchemaError,
@@ -38,11 +52,23 @@ from .tracer import (
 )
 
 __all__ = [
+    "BYTES_BUCKETS",
     "CompileProfile",
     "Event",
+    "HISTOGRAM_BUCKETS",
+    "HistogramData",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullMetricsRegistry",
     "NullTracer",
     "PhaseStat",
+    "SECONDS_BUCKETS",
+    "current_registry",
+    "exponential_buckets",
+    "merge_snapshots",
+    "use_registry",
     "TraceSchemaError",
     "Tracer",
     "current_tracer",

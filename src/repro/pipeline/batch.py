@@ -36,6 +36,12 @@ from ..analysis.blame import CHECK_OFF, PhaseBlameError
 from ..frontend.irbuilder import compile_source
 from ..interp.profile import apply_profile, profile_program
 from ..ir.graph import Program
+from ..obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    current_registry,
+    use_registry,
+)
 from ..obs.profile import CompileProfile
 from ..obs.sinks import event_from_dict, event_to_dict
 from ..obs.tracer import Event, Tracer, current_tracer
@@ -206,27 +212,36 @@ def _compile_worker(task: dict[str, Any]) -> dict[str, Any]:
     Takes and returns only picklable plain data so the same function is
     pool- and spawn-safe.  The worker always compiles under a recording
     tracer: the trace is what makes cached artifacts explainable and
-    the batch profile aggregatable.
+    the batch profile aggregatable.  It likewise always compiles under
+    its own :class:`MetricsRegistry`, whose snapshot rides back in the
+    payload so the parent can fold worker metrics into one view —
+    serial and parallel batches merge to identical totals.
     """
     tracer = Tracer()
+    registry = MetricsRegistry()
     started = time.perf_counter()
     result: dict[str, Any] = {"name": task["name"], "pid": os.getpid()}
     try:
-        program = compile_source(task["source"])
-        collector = profile_program(program, task["entry"], [list(task["args"])])
-        apply_profile(program, collector)
-        compiler = Compiler(
-            task["config"],
-            tracer=tracer,
-            check_ir=task["check_ir"],
-            fail_fast=task["fail_fast"],
-        )
-        report = compiler.compile_program(program)
+        with use_registry(registry):
+            program = compile_source(task["source"])
+            collector = profile_program(
+                program, task["entry"], [list(task["args"])]
+            )
+            apply_profile(program, collector)
+            compiler = Compiler(
+                task["config"],
+                tracer=tracer,
+                check_ir=task["check_ir"],
+                fail_fast=task["fail_fast"],
+            )
+            report = compiler.compile_program(program)
     except PhaseBlameError as exc:
         result["error"] = exc.format_blame()
+        result["metrics"] = registry.snapshot().to_json()
         return result
     except Exception as exc:
         result["error"] = f"{type(exc).__name__}: {exc}"
+        result["metrics"] = registry.snapshot().to_json()
         return result
     from ..vm import translate_program
     from .cache import artifact_manifest, pack_artifact
@@ -243,6 +258,7 @@ def _compile_worker(task: dict[str, Any]) -> dict[str, Any]:
         if compiler.guard is not None
         else [],
         elapsed=time.perf_counter() - started,
+        metrics=registry.snapshot().to_json(),
     )
     return result
 
@@ -303,6 +319,7 @@ def compile_batch(
     (``error``) without aborting the rest of the batch.
     """
     tracer = tracer if tracer is not None else current_tracer()
+    registry = current_registry()
     started = time.perf_counter()
     sources = _load_sources(specs)
     cache = options.cache
@@ -320,6 +337,7 @@ def compile_batch(
         entry = cache.get(key, tracer) if cache is not None else None
         if entry is not None:
             results[index] = _result_from_cache(name, key, entry)
+            registry.inc("repro_batch_jobs_total", outcome="cached")
             continue
         task = {
             "name": name,
@@ -333,6 +351,8 @@ def compile_batch(
         pending.append((index, task, key))
 
     jobs = options.effective_jobs(len(pending)) if pending else 1
+    # Peak queue depth for this batch (merged snapshots keep the max).
+    registry.set_gauge("repro_batch_queue_depth", len(pending))
     if pending:
         if jobs == 1:
             payloads = [(i, k, _compile_worker(t)) for i, t, k in pending]
@@ -351,6 +371,15 @@ def compile_batch(
                         payloads.append((index, key, future.result()))
         for index, key, payload in payloads:
             result = _result_from_worker(key, payload)
+            if "metrics" in payload:
+                registry.merge_snapshot(
+                    MetricsSnapshot.from_json(payload["metrics"])
+                )
+            registry.inc(
+                "repro_batch_jobs_total",
+                outcome="error" if result.error is not None else "compiled",
+            )
+            registry.observe("repro_batch_job_seconds", result.elapsed)
             tracer.count("batch.worker")
             tracer.event(
                 "batch.worker",

@@ -42,6 +42,7 @@ from pathlib import Path
 from typing import Any, Iterable, Optional, Sequence, Union
 
 from ..ir.graph import Program
+from ..obs.metrics import current_registry
 from ..obs.sinks import event_from_dict, event_to_dict
 from ..obs.tracer import Event, Tracer, current_tracer
 from .compiler import CompilationReport
@@ -343,6 +344,7 @@ class ArtifactCache:
     def get(self, key: str, tracer: Optional[Tracer] = None) -> Optional[CacheEntry]:
         """The entry for ``key``, or None (miss or corrupted)."""
         tracer = tracer if tracer is not None else current_tracer()
+        registry = current_registry()
         path = self.path_for(key)
         try:
             raw = path.read_bytes()
@@ -350,6 +352,7 @@ class ArtifactCache:
             self.stats.misses += 1
             tracer.count("cache.miss")
             tracer.event("cache.miss", key=key)
+            registry.inc("repro_cache_lookups_total", result="miss")
             return None
         entry = self._decode(key, raw)
         if entry is None:
@@ -357,10 +360,13 @@ class ArtifactCache:
             self.stats.misses += 1
             tracer.count("cache.miss")
             tracer.event("cache.miss", key=key)
+            registry.inc("repro_cache_lookups_total", result="miss")
             return None
         self.stats.hits += 1
         tracer.count("cache.hit")
         tracer.event("cache.hit", key=key, path=str(path))
+        registry.inc("repro_cache_lookups_total", result="hit")
+        registry.observe("repro_cache_entry_bytes", len(raw), op="get")
         return entry
 
     def put(
@@ -388,6 +394,9 @@ class ArtifactCache:
         self.stats.stores += 1
         tracer.count("cache.store")
         tracer.event("cache.store", key=entry.key, path=str(path))
+        registry = current_registry()
+        registry.inc("repro_cache_stores_total")
+        registry.observe("repro_cache_entry_bytes", len(payload), op="put")
         return path
 
     # ------------------------------------------------------------------
@@ -414,3 +423,4 @@ class ArtifactCache:
         self.stats.evictions += 1
         tracer.count("cache.evict")
         tracer.event("cache.evict", key=key, reason=reason)
+        current_registry().inc("repro_cache_evictions_total")

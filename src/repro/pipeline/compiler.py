@@ -25,6 +25,7 @@ from ..interp.interpreter import ExecutionResult, Interpreter
 from ..interp.profile import apply_profile, profile_program
 from ..ir.graph import Graph, Program
 from ..ir.verifier import verify_graph
+from ..obs.metrics import current_registry
 from ..obs.tracer import Tracer, use_tracer
 from ..opts.canonicalize import CanonicalizerPhase
 from ..opts.condelim import ConditionalEliminationPhase
@@ -179,6 +180,7 @@ class Compiler:
 
     def _compile_function(self, program: Program, name: str) -> UnitMetrics:
         tracer = self.tracer
+        registry = current_registry()
         graph = program.function(name)
         metrics = UnitMetrics(function=name)
         candidates_before = tracer.counter("dbds.candidates")
@@ -201,10 +203,19 @@ class Compiler:
 
             if self.config.backtracking:
                 backtracker = BacktrackingDuplication(program)
+                bt_start = time.perf_counter() if registry.enabled else 0.0
                 with tracer.span(
                     "phase", phase=BacktrackingDuplication.name, graph=name
                 ):
                     new_graph = backtracker.run(graph)
+                if registry.enabled:
+                    # Not a Phase subclass, so the phase-entry hook
+                    # never sees it — observe its wall time here.
+                    registry.observe(
+                        "repro_compile_phase_seconds",
+                        time.perf_counter() - bt_start,
+                        phase=BacktrackingDuplication.name,
+                    )
                 if new_graph is not graph:
                     program.functions[name] = new_graph
                     graph = new_graph
@@ -234,6 +245,8 @@ class Compiler:
                         metrics.phase_times.get(phase_name, 0.0)
                         + (event.dur or 0.0)
                     )
+        registry.inc("repro_compile_units_total")
+        registry.observe("repro_compile_unit_seconds", metrics.compile_time)
         if self.config.paranoid:
             verify_graph(graph)
         return metrics
@@ -320,4 +333,8 @@ def measure_performance(
         result = runner.run(entry, list(args))
         results.append(result)
         total += result.cycles
+    if results:
+        current_registry().inc(
+            "repro_vm_runs_total", len(results), engine=engine
+        )
     return total, results

@@ -19,13 +19,17 @@ and observer hooks.  ``repro check --diff-engines`` and the
 
 from .bytecode import BytecodeFunction, BytecodeProgram, disassemble
 from .machine import VirtualMachine
+from .profiler import ProfilingVirtualMachine, VMProfile, profile_run
 from .translate import translate_graph, translate_program
 
 __all__ = [
     "BytecodeFunction",
     "BytecodeProgram",
+    "ProfilingVirtualMachine",
+    "VMProfile",
     "VirtualMachine",
     "disassemble",
+    "profile_run",
     "translate_graph",
     "translate_program",
 ]

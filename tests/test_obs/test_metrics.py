@@ -1,0 +1,229 @@
+"""Tests for the unified metrics registry (docs/OBSERVABILITY.md)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    HISTOGRAM_BUCKETS,
+    NULL_REGISTRY,
+    SECONDS_BUCKETS,
+    HistogramData,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetricsRegistry,
+    current_registry,
+    exponential_buckets,
+    label_key,
+    merge_snapshots,
+    parse_label_key,
+    use_registry,
+)
+
+
+class TestBuckets:
+    def test_exponential_layout(self):
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+    def test_rejects_degenerate_layouts(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            exponential_buckets(1.0, 2.0, 0)
+
+    def test_declared_layouts_are_known_constants(self):
+        assert HISTOGRAM_BUCKETS["repro_compile_phase_seconds"] is SECONDS_BUCKETS
+        assert HISTOGRAM_BUCKETS["repro_cache_entry_bytes"] is BYTES_BUCKETS
+
+
+class TestLabelKeys:
+    def test_sorted_and_roundtrips(self):
+        key = label_key({"b": 2, "a": "x"})
+        assert key == "a=x,b=2"
+        assert parse_label_key(key) == {"a": "x", "b": "2"}
+        assert parse_label_key("") == {}
+
+
+class TestHistogramData:
+    def test_observe_places_values(self):
+        data = HistogramData(buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            data.observe(value)
+        assert data.counts == [1, 1, 1, 1]  # final slot = overflow
+        assert data.count == 4
+        assert data.sum == pytest.approx(555.5)
+
+    def test_boundary_goes_to_lower_bucket(self):
+        # bisect_left: a value equal to a bound lands in that bound's
+        # bucket, matching Prometheus's le= (less-or-equal) semantics.
+        data = HistogramData(buckets=(1.0, 10.0))
+        data.observe(1.0)
+        assert data.counts == [1, 0, 0]
+
+    def test_merge_adds_elementwise(self):
+        a = HistogramData(buckets=(1.0, 10.0))
+        b = HistogramData(buckets=(1.0, 10.0))
+        a.observe(0.5)
+        b.observe(5.0)
+        b.observe(50.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+
+    def test_merge_rejects_layout_mismatch(self):
+        a = HistogramData(buckets=(1.0, 10.0))
+        b = HistogramData(buckets=(1.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_counters_accumulate_per_label_set(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_cache_lookups_total", result="hit")
+        registry.inc("repro_cache_lookups_total", 2, result="miss")
+        registry.inc("repro_cache_lookups_total", result="hit")
+        snap = registry.snapshot()
+        assert snap.counter_value("repro_cache_lookups_total", result="hit") == 2
+        assert snap.counter_value("repro_cache_lookups_total", result="miss") == 2
+        assert snap.counter_total("repro_cache_lookups_total") == 4
+
+    def test_gauges_keep_last_value(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("repro_batch_queue_depth", 7)
+        registry.set_gauge("repro_batch_queue_depth", 3)
+        assert registry.snapshot().gauge_value("repro_batch_queue_depth") == 3
+
+    def test_histograms_use_declared_layout(self):
+        registry = MetricsRegistry()
+        registry.observe("repro_cache_entry_bytes", 1024.0, op="put")
+        data = registry.snapshot().histogram("repro_cache_entry_bytes", op="put")
+        assert data.buckets == BYTES_BUCKETS
+        assert data.count == 1
+
+    def test_undeclared_histogram_falls_back_to_seconds(self):
+        registry = MetricsRegistry()
+        registry.observe("custom_seconds", 0.001)
+        assert registry.snapshot().histogram("custom_seconds").buckets == (
+            SECONDS_BUCKETS
+        )
+
+    def test_snapshot_is_a_deep_copy(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.observe("h", 1.0)
+        snap = registry.snapshot()
+        registry.inc("c")
+        registry.observe("h", 2.0)
+        assert snap.counter_value("c") == 1
+        assert snap.histogram_count("h") == 1
+
+
+class TestSnapshotMerge:
+    def make(self, hits: int, depth: float) -> MetricsSnapshot:
+        registry = MetricsRegistry()
+        registry.inc("repro_cache_lookups_total", hits, result="hit")
+        registry.set_gauge("repro_batch_queue_depth", depth)
+        registry.observe("repro_batch_job_seconds", 0.01)
+        return registry.snapshot()
+
+    def test_counters_add_gauges_take_max(self):
+        merged = self.make(2, 5.0).merge(self.make(3, 2.0))
+        assert merged.counter_value("repro_cache_lookups_total", result="hit") == 5
+        assert merged.gauge_value("repro_batch_queue_depth") == 5.0
+        assert merged.histogram_count("repro_batch_job_seconds") == 2
+
+    def test_merge_is_order_independent(self):
+        parts = [self.make(i, float(i)) for i in (1, 2, 3)]
+        forward = merge_snapshots(
+            MetricsSnapshot.from_json(p.to_json()) for p in parts
+        )
+        backward = merge_snapshots(
+            MetricsSnapshot.from_json(p.to_json()) for p in reversed(parts)
+        )
+        assert forward.to_json() == backward.to_json()
+
+    def test_registry_merge_snapshot_folds_in(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_cache_lookups_total", result="hit")
+        registry.merge_snapshot(self.make(4, 1.0))
+        assert (
+            registry.snapshot().counter_value(
+                "repro_cache_lookups_total", result="hit"
+            )
+            == 5
+        )
+
+
+class TestSerialization:
+    def test_json_roundtrip_is_lossless(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_batch_jobs_total", 2, outcome="compiled")
+        registry.set_gauge("repro_batch_queue_depth", 9)
+        registry.observe("repro_batch_job_seconds", 0.25)
+        snap = registry.snapshot()
+        blob = json.dumps(snap.to_json(), sort_keys=True)
+        restored = MetricsSnapshot.from_json(json.loads(blob))
+        assert restored.to_json() == snap.to_json()
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.inc("repro_cache_lookups_total", 3, result="hit")
+        registry.set_gauge("repro_batch_queue_depth", 4)
+        registry.observe("repro_batch_job_seconds", 0.02)
+        text = registry.snapshot().render_prometheus()
+        assert "# TYPE repro_cache_lookups_total counter" in text
+        assert 'repro_cache_lookups_total{result="hit"} 3' in text
+        assert "# TYPE repro_batch_queue_depth gauge" in text
+        assert "# TYPE repro_batch_job_seconds histogram" in text
+        assert 'repro_batch_job_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_batch_job_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        for value in (1e-5, 1e-3, 1e-1):
+            registry.observe("repro_batch_job_seconds", value)
+        text = registry.snapshot().render_prometheus()
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_batch_job_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3  # +Inf bucket holds every observation
+
+
+class TestAmbientRegistry:
+    def test_null_is_ambient_default(self):
+        assert current_registry() is NULL_REGISTRY
+        assert not NULL_REGISTRY.enabled
+
+    def test_null_registry_drops_everything(self):
+        registry = NullMetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 1)
+        registry.observe("h", 1.0)
+        snap = registry.snapshot()
+        assert snap.counters == {} and snap.gauges == {} and snap.histograms == {}
+
+    def test_use_registry_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert current_registry() is registry
+            inner = MetricsRegistry()
+            with use_registry(inner):
+                assert current_registry() is inner
+            assert current_registry() is registry
+        assert current_registry() is NULL_REGISTRY
+
+    def test_restored_after_exception(self):
+        try:
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_registry() is NULL_REGISTRY

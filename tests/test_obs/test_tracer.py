@@ -108,6 +108,54 @@ class TestNullTracer:
         assert tracer.events == [] and tracer.counters == {}
 
 
+class TestNullParityAudit:
+    """The null objects must shadow their live classes' whole surface.
+
+    If a new recording entry point lands on Tracer (or MetricsRegistry)
+    without a corresponding no-op guarantee, the process-wide singletons
+    would silently accrue state across unrelated work.  This audit
+    fails the moment the surfaces drift.
+    """
+
+    @staticmethod
+    def public_api(cls) -> set[str]:
+        return {
+            name
+            for name in dir(cls)
+            if not name.startswith("_") and callable(getattr(cls, name))
+        }
+
+    def test_null_tracer_declares_no_extra_api(self):
+        assert self.public_api(NullTracer) == self.public_api(Tracer)
+
+    def test_whole_surface_stays_silent(self):
+        tracer = NullTracer()
+        with tracer.span("phase", phase="p") as event:
+            event.attrs["x"] = 1
+        tracer.event("e", a=1)
+        tracer.count("c", 2)
+        assert tracer.events == []
+        assert tracer.counters == {}
+        assert tracer.spans() == []
+        assert tracer.named("e") == []
+        assert tracer.counter("c") == 0
+
+    def test_null_registry_mirrors_the_same_discipline(self):
+        from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+
+        assert self.public_api(NullMetricsRegistry) == self.public_api(
+            MetricsRegistry
+        )
+        registry = NullMetricsRegistry()
+        registry.inc("c", 2, label="x")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 0.5)
+        snap = registry.snapshot()
+        assert snap.counters == {}
+        assert snap.gauges == {}
+        assert snap.histograms == {}
+
+
 class TestAmbientTracer:
     def test_use_tracer_installs_and_restores(self):
         tracer = Tracer()

@@ -151,6 +151,127 @@ class TestObservabilityFlags:
         assert data["rows"][0]["configs"]["dbds"]["phase_times"]
 
 
+class TestProfileAndMetrics:
+    def test_profile_verb_prints_reconciled_tables(self, source_file, capsys):
+        code = main(["profile", str(source_file), "--args", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "result          : 176" in out
+        assert "opcode" in out and "function" in out and "block" in out
+        assert "-> exact" in out
+
+    def test_profile_trap_reported(self, tmp_path, capsys):
+        path = tmp_path / "trap.mini"
+        path.write_text(TRAPPING)
+        code = main(["profile", str(path), "--args", "0"])
+        assert code == 1
+        assert "trap" in capsys.readouterr().err
+
+    def test_profile_collapsed_and_json_outputs(self, source_file, tmp_path):
+        import json
+
+        folded = tmp_path / "stacks.folded"
+        blob = tmp_path / "profile.json"
+        code = main(
+            [
+                "profile", str(source_file), "--args", "20",
+                "--collapsed", str(folded), "--json", str(blob),
+            ]
+        )
+        assert code == 0
+        lines = folded.read_text().splitlines()
+        assert lines
+        for line in lines:  # flamegraph.pl input: "a;b;c <int>"
+            frames, weight = line.rsplit(" ", 1)
+            assert frames and weight.isdigit()
+        data = json.loads(blob.read_text())
+        assert data["schema"] == 1
+        assert data["total_cycles"] == sum(data["stacks"].values())
+
+    def test_run_profile_run_flag(self, source_file, capsys):
+        code = main(["run", str(source_file), "--args", "20", "--profile-run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "176" in out and "reconciliation" in out
+
+    def test_metrics_out_json(self, source_file, tmp_path):
+        import json
+
+        out = tmp_path / "metrics.json"
+        code = main(
+            ["run", str(source_file), "--args", "20", "--metrics-out", str(out)]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["schema"] == 1
+        assert data["counters"]["repro_compile_units_total"][""] == 2
+        assert "repro_dbds_decisions_total" in data["counters"]
+
+    def test_metrics_prometheus_text(self, source_file, tmp_path):
+        out = tmp_path / "metrics.prom"
+        code = main(
+            ["run", str(source_file), "--args", "20", "--metrics-prom", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "# TYPE repro_compile_units_total counter" in text
+        assert "# TYPE repro_compile_phase_seconds histogram" in text
+
+
+class TestTrajectoryCli:
+    @pytest.fixture
+    def tiny_suite(self, monkeypatch):
+        import dataclasses
+
+        import repro.bench.workloads.suites as suites
+
+        tiny = dataclasses.replace(
+            suites.MICRO, benchmark_names=suites.MICRO.benchmark_names[:1]
+        )
+        monkeypatch.setitem(suites.ALL_SUITES, "micro", tiny)
+
+    def test_append_then_check_passes(self, tiny_suite, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "traj.json"
+        code = main(["bench", "--suite", "micro", "--append-trajectory", str(path)])
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert len(data["entries"]) == 1
+        code = main(
+            [
+                "bench", "--suite", "micro",
+                "--check-regression", str(path),
+                "--append-trajectory", str(path),
+            ]
+        )
+        assert code == 0
+        assert "regression check: ok" in capsys.readouterr().err
+        assert len(json.loads(path.read_text())["entries"]) == 2
+
+    def test_regression_fails_and_skips_append(self, tiny_suite, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "traj.json"
+        assert main(["bench", "--suite", "micro", "--append-trajectory", str(path)]) == 0
+        # Doctor the committed history: pretend the past was 2× faster.
+        data = json.loads(path.read_text())
+        for config in data["entries"][0]["configs"].values():
+            config["median_cycles"] /= 2.0
+        path.write_text(json.dumps(data))
+        code = main(
+            [
+                "bench", "--suite", "micro",
+                "--check-regression", str(path),
+                "--append-trajectory", str(path),
+            ]
+        )
+        assert code == 1
+        assert "regression:" in capsys.readouterr().err
+        # The failing run must not be committed to the history.
+        assert len(json.loads(path.read_text())["entries"]) == 1
+
+
 class TestArgparse:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
