@@ -22,9 +22,10 @@ JSONL event trace) and ``--profile-compile`` (print the per-phase
 profile); see docs/OBSERVABILITY.md.  ``run`` and ``compile`` accept
 ``--check-ir={off,boundaries,each-phase}`` plus
 ``--fail-fast``/``--keep-going``.  ``run``, ``bench`` and ``check``
-accept ``--engine={reference,vm}`` to pick the executor; ``bench
---engine-report FILE`` writes a reference-vs-VM comparison and ``check
---diff-engines``/``--fuzz-engines N`` differentially validate the VM
+accept ``--engine={reference,vm,closure}`` to pick the executor;
+``bench --engine-report FILE`` writes the engine comparison matrix and
+``check --diff-engines``/``--fuzz-engines N`` differentially validate
+every engine against the reference
 (docs/VM.md).  ``profile`` (and ``run``/``bench --profile-run``)
 executes under the profiling VM and prints per-opcode/function/block
 hot-path tables; ``run``, ``batch``, ``bench`` and ``check`` accept
@@ -513,9 +514,11 @@ def _check_program_sweeps(
             if message is not None:
                 problems.append(message)
 
-        # Both engines expose the same observer hook, so dynamic stamp
-        # checking doubles as a VM spot-check under --engine=vm.
-        if getattr(args, "engine", "reference") == "vm":
+        # Every engine exposes the same observer hook, so dynamic stamp
+        # checking doubles as a VM spot-check under --engine=vm (the
+        # closure engine falls back to the machine loops when observed,
+        # so one VirtualMachine serves both bytecode engines here).
+        if getattr(args, "engine", "reference") != "reference":
             from .vm.machine import VirtualMachine
 
             runner = VirtualMachine(translate_program(program), observer=observe)
@@ -629,7 +632,14 @@ def cmd_batch(args: argparse.Namespace) -> int:
 @_with_metrics
 def cmd_bench(args: argparse.Namespace) -> int:
     profile = ALL_SUITES[args.suite]
-    profile_phases = args.profile_compile or args.trace_out is not None
+    # Trajectory entries record per-phase compile seconds, so trajectory
+    # runs need phase profiling on even without --profile-compile.
+    profile_phases = (
+        args.profile_compile
+        or args.trace_out is not None
+        or args.append_trajectory is not None
+        or args.check_regression is not None
+    )
     cache = _make_cache(args)
     report = run_suite(
         profile, seed=args.seed, profile_phases=profile_phases, cache=cache,
@@ -640,15 +650,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
         args.trace_out.write_text(json.dumps(suite_report_json(report), indent=2))
         print(f"suite report -> {args.trace_out}", file=sys.stderr)
     comparison = None
-    if args.engine_report is not None:
+    if args.engine_report is not None or args.engine_report_txt is not None:
         from .bench.engines import compare_engines
 
         comparison = compare_engines(profile, seed=args.seed, cache=cache)
         print(comparison.format())
-        args.engine_report.write_text(
-            json.dumps(comparison.to_json(), indent=2)
-        )
-        print(f"engine report -> {args.engine_report}", file=sys.stderr)
+        if args.engine_report is not None:
+            args.engine_report.write_text(
+                json.dumps(comparison.to_json(), indent=2)
+            )
+            print(f"engine report -> {args.engine_report}", file=sys.stderr)
+        if args.engine_report_txt is not None:
+            args.engine_report_txt.parent.mkdir(parents=True, exist_ok=True)
+            args.engine_report_txt.write_text(comparison.format() + "\n")
+            print(
+                f"engine report (text) -> {args.engine_report_txt}",
+                file=sys.stderr,
+            )
         if not comparison.all_match:
             return 1
     if args.profile_run:
@@ -704,6 +722,9 @@ def _bench_trajectory(args: argparse.Namespace, report, comparison) -> int:
         seed=args.seed,
         vm_median_speedup=(
             comparison.median_speedup if comparison is not None else None
+        ),
+        engine_medians=(
+            comparison.engine_medians if comparison is not None else None
         ),
     )
     if args.check_regression is not None:
@@ -1009,7 +1030,7 @@ def main(argv: list[str] | None = None) -> int:
         default=0,
         metavar="N",
         help="also engine-validate N mutants of the checked sources "
-        "(reference interpreter vs bytecode VM)",
+        "(reference interpreter vs every VM engine)",
     )
     _add_observability(check_parser)
     _add_metrics_flags(check_parser)
@@ -1026,7 +1047,16 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="FILE",
         help="also compare engines on the suite, write the JSON report "
-        "(reference vs VM wall times, speedup, outcome equality)",
+        "(reference vs every VM engine: wall times, per-engine speedups, "
+        "outcome equality)",
+    )
+    bench_parser.add_argument(
+        "--engine-report-txt",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="persist the human-readable engine comparison table "
+        "(e.g. benchmarks/results/engine_report.txt)",
     )
     _add_observability(bench_parser)
     _add_metrics_flags(bench_parser)

@@ -192,7 +192,7 @@ def fuzz_translation(
 
 
 # ----------------------------------------------------------------------
-# Engine differential mode: reference interpreter vs bytecode VM
+# Engine differential mode: the full execution-engine cross-product
 # ----------------------------------------------------------------------
 def validate_engines(
     source: str,
@@ -200,58 +200,62 @@ def validate_engines(
     arg_sets: Optional[Iterable[Sequence[Any]]] = None,
     config: Optional[Any] = None,
     seed: Optional[int] = None,
+    engines: Optional[Sequence[str]] = None,
 ) -> ValidationResult:
-    """Compile once, execute on both engines, demand exact agreement.
+    """Compile once, execute on every engine, demand exact agreement.
 
     Where :func:`validate_translation` compares two *compilations* on
-    one engine, this compares two *engines* on one compilation — the
-    check that the bytecode VM is a faithful implementation of the
+    one engine, this compares all *engines* on one compilation — the
+    check that the bytecode VM (fused/quickened and flat-tuple alike)
+    and the closure engine are faithful implementations of the
     reference semantics.  Agreement is stricter than observable
     outcome: step counts and metered cycles must match too, since the
-    VM advertises step/cycle parity.
+    VM engines advertise step/cycle parity.  Every engine is compared
+    against the reference, which by transitivity covers every engine
+    pair.  ``engines`` defaults to the full matrix — ``reference``,
+    ``vm``, ``vm-nofuse`` and ``closure``.
     """
-    from ..costmodel.model import cycles_of
-    from ..interp.interpreter import Interpreter, observable_outcome
-    from ..pipeline.compiler import compile_and_profile
+    from ..interp.interpreter import observable_outcome
+    from ..pipeline.compiler import ALL_ENGINES, compile_and_profile, make_engine
     from ..pipeline.config import DBDS
     from ..vm import translate_program
-    from ..vm.machine import VirtualMachine
 
     if config is None:
         config = DBDS
+    if engines is None:
+        engines = ALL_ENGINES
     sets = [list(args) for args in (arg_sets or [[v] for v in DEFAULT_ARG_VALUES])]
-    result = ValidationResult(entry=entry, configs=["reference", "vm"])
+    result = ValidationResult(entry=entry, configs=list(engines))
     program, _ = compile_and_profile(source, entry, sets, config)
-    reference = Interpreter(
-        program, cycle_cost=cycles_of, terminator_cost=cycles_of
-    )
-    vm = VirtualMachine(translate_program(program), metered=True)
+    bytecode = translate_program(program)
+    runners = [
+        (name, make_engine(name, program, bytecode=bytecode))
+        for name in engines
+    ]
+
+    def outcome(runner, args) -> tuple:
+        runner.reset()
+        run = runner.run(entry, list(args))
+        result.runs += 1
+        return (observable_outcome(run, runner.state), run.steps, run.cycles)
+
+    reference_name, reference = runners[0]
     for args in sets:
-        reference.reset()
-        vm.reset()
-        ref_run = reference.run(entry, list(args))
-        vm_run = vm.run(entry, list(args))
-        result.runs += 2
-        ref_out = (
-            observable_outcome(ref_run, reference.state),
-            ref_run.steps,
-            ref_run.cycles,
-        )
-        vm_out = (
-            observable_outcome(vm_run, vm.state), vm_run.steps, vm_run.cycles
-        )
-        if ref_out != vm_out:
-            result.divergences.append(
-                DivergenceRecord(
-                    entry=entry,
-                    args=tuple(args),
-                    config_a="reference",
-                    config_b="vm",
-                    outcome_a=ref_out,
-                    outcome_b=vm_out,
-                    seed=seed,
+        expected = outcome(reference, args)
+        for name, runner in runners[1:]:
+            actual = outcome(runner, args)
+            if actual != expected:
+                result.divergences.append(
+                    DivergenceRecord(
+                        entry=entry,
+                        args=tuple(args),
+                        config_a=reference_name,
+                        config_b=name,
+                        outcome_a=expected,
+                        outcome_b=actual,
+                        seed=seed,
+                    )
                 )
-            )
     return result
 
 
@@ -269,7 +273,8 @@ def fuzz_engines(
 
     The mutation machinery of :func:`fuzz_mutations` pointed at the
     engine oracle: every surviving mutant is compiled once and must
-    behave identically on the reference interpreter and the VM.
+    behave identically on the reference interpreter and every VM
+    engine (fused/quickened, flat-tuple and closure-compiled).
     """
     report = FuzzReport()
     start = time.perf_counter()

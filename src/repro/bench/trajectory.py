@@ -29,8 +29,14 @@ Entry layout (``schema`` 1)::
         ...
       },
       "vm_median_speedup": 37.2 | null,
+      "engine_medians": {"vm-nofuse": ..., "vm": ..., "closure": ...} | null,
       "phase_times": {"dbds": {...}, ...}
     }
+
+``engine_medians`` (added alongside the engine matrix; still schema 1
+— readers treat a missing key as null) records every engine's median
+wall-clock speedup over the reference interpreter, so the trajectory
+shows what fusion/quickening and the closure engine buy over time.
 """
 
 from __future__ import annotations
@@ -62,12 +68,14 @@ def trajectory_entry(
     *,
     seed: int = 0,
     vm_median_speedup: Optional[float] = None,
+    engine_medians: Optional[dict[str, float]] = None,
     recorded_at: Optional[str] = None,
 ) -> dict[str, Any]:
     """Build one trajectory entry from a finished suite run.
 
-    ``vm_median_speedup`` comes from the engine comparison when one ran
-    alongside (``--engine-report``); it is recorded, not gated.
+    ``vm_median_speedup`` and ``engine_medians`` come from the engine
+    comparison when one ran alongside (``--engine-report``); they are
+    recorded, not gated.
     """
     from ..pipeline.cache import repro_version
 
@@ -103,6 +111,7 @@ def trajectory_entry(
         "repro_version": repro_version(),
         "configs": configs,
         "vm_median_speedup": vm_median_speedup,
+        "engine_medians": dict(engine_medians) if engine_medians else None,
         "phase_times": suite_phase_times(report),
     }
 

@@ -246,12 +246,17 @@ def _compile_worker(task: dict[str, Any]) -> dict[str, Any]:
     from ..vm import translate_program
     from .cache import artifact_manifest, pack_artifact
 
+    with use_registry(registry):
+        # Translation (superinstruction fusion counts fused sites on
+        # the ambient registry) must run under the worker registry too,
+        # or serial and parallel batches would merge different totals.
+        program_blob = pack_artifact(program, translate_program(program))
     result.update(
         report=report.to_json(),
         manifest=artifact_manifest(program, report, tracer.events),
         events=[event_to_dict(e) for e in tracer.events],
         counters=dict(tracer.counters),
-        program_blob=pack_artifact(program, translate_program(program)),
+        program_blob=program_blob,
         check_failures=[
             failure.format_blame() for failure in compiler.guard.failures
         ]

@@ -48,8 +48,12 @@ from ..obs.tracer import Event, Tracer, current_tracer
 from .compiler import CompilationReport
 from .config import CompilerConfig
 
-#: bump when the on-disk payload layout changes (invalidates old dirs)
-CACHE_SCHEMA_VERSION = 2
+#: bump when the on-disk payload layout changes (invalidates old dirs).
+#: v3: bytecode artifacts carry the fused/quickened fast stream
+#: (extended opcodes, block spans, const ranges) — legacy v2 blobs
+#: unpickle fine (class-level field defaults) but keyed entries are
+#: invalidated so fused streams are rebuilt with stable opcode numbers.
+CACHE_SCHEMA_VERSION = 3
 
 #: pickle protocol pinned so parent and pool workers agree
 PICKLE_PROTOCOL = 4

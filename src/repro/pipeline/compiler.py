@@ -291,7 +291,55 @@ def compile_and_profile(
 
 
 #: Execution engines usable for measurement runs.
-ENGINES = ("reference", "vm")
+ENGINES = ("reference", "vm", "closure")
+
+#: engines accepted by :func:`make_engine` — the public three plus
+#: ``vm-nofuse``, the flat-tuple machine loops with the fused/quickened
+#: fast stream pinned off (the bench engine matrix's ablation row)
+ALL_ENGINES = ENGINES + ("vm-nofuse",)
+
+
+def make_engine(
+    engine: str,
+    program: Program,
+    bytecode: Any = None,
+    max_steps: int = 50_000_000,
+    metered: bool = True,
+) -> Any:
+    """Construct a runner for ``engine`` (uniform run/reset/state API).
+
+    ``reference`` is the tree-walking interpreter; ``vm`` the bytecode
+    machine with superinstruction fusion and quickening; ``vm-nofuse``
+    the same machine pinned to its flat-tuple loops; ``closure`` the
+    closure-compiling engine.  VM engines accept a pre-translated
+    ``bytecode`` program to skip re-translation (e.g. a cache hit).
+    All four report identical cycles/steps/outcomes by construction.
+    """
+    if engine == "reference":
+        return Interpreter(
+            program,
+            max_steps=max_steps,
+            cycle_cost=cycles_of if metered else None,
+            terminator_cost=cycles_of if metered else None,
+        )
+    if engine not in ("vm", "vm-nofuse", "closure"):
+        raise ValueError(
+            f"unknown engine {engine!r} (expected one of {ALL_ENGINES})"
+        )
+    from ..vm import ClosureVirtualMachine, VirtualMachine, translate_program
+
+    if bytecode is None:
+        bytecode = translate_program(program)
+    if engine == "closure":
+        return ClosureVirtualMachine(
+            bytecode, max_steps=max_steps, metered=metered
+        )
+    return VirtualMachine(
+        bytecode,
+        max_steps=max_steps,
+        metered=metered,
+        fused=engine == "vm",
+    )
 
 
 def measure_performance(
@@ -304,28 +352,15 @@ def measure_performance(
 ) -> tuple[float, list[ExecutionResult]]:
     """Simulated peak performance: total cost-model cycles over runs.
 
-    ``engine`` selects the executor: the ``reference`` tree-walking
-    interpreter or the ``vm`` bytecode engine (pass a pre-translated
-    ``bytecode`` program to skip re-translation, e.g. from a cache hit).
-    Both engines report identical cycles/steps/outcomes by construction.
+    ``engine`` selects the executor (see :func:`make_engine`): the
+    ``reference`` tree-walking interpreter, the ``vm`` bytecode engine
+    or the ``closure`` compiling engine — pass a pre-translated
+    ``bytecode`` program to skip re-translation, e.g. from a cache hit.
+    All engines report identical cycles/steps/outcomes by construction.
     """
-    if engine == "vm":
-        from ..vm import VirtualMachine, translate_program
-
-        runner = VirtualMachine(
-            bytecode if bytecode is not None else translate_program(program),
-            max_steps=max_steps,
-            metered=True,
-        )
-    elif engine == "reference":
-        runner = Interpreter(
-            program,
-            max_steps=max_steps,
-            cycle_cost=cycles_of,
-            terminator_cost=cycles_of,
-        )
-    else:
-        raise ValueError(f"unknown engine {engine!r} (expected one of {ENGINES})")
+    runner = make_engine(
+        engine, program, bytecode=bytecode, max_steps=max_steps
+    )
     results = []
     total = 0.0
     for args in arg_sets:

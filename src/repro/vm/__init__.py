@@ -10,26 +10,55 @@ time, phis lowered to per-edge parallel-copy move sequences, branch
 targets resolved to instruction indices — and executes it with a
 per-opcode handler table.
 
+Three raw-speed layers sit on top of the flat-tuple machine:
+
+* **superinstruction fusion** (:mod:`repro.vm.fusion`) rewrites hot
+  adjacent opcode pairs into single combined instructions;
+* **quickening** (:mod:`repro.vm.quicken`) specializes generic ops in
+  place on first execution, with a deopt escape back to the generic
+  form;
+* the **closure engine** (:mod:`repro.vm.closure`) compiles each basic
+  block to an ``exec``-generated Python closure chain and skips
+  bytecode dispatch entirely.
+
 Semantics are bit-for-bit those of the reference interpreter: shared
 heap/trap/outcome types, identical trap messages, identical step
 accounting and budget behaviour, identical :class:`ProfileCollector`
 and observer hooks.  ``repro check --diff-engines`` and the
 ``tests/test_vm`` differential suite enforce this; see docs/VM.md.
+
+Import order below is load-bearing: :mod:`repro.vm.fusion` and
+:mod:`repro.vm.quicken` register their extended opcodes into
+``machine.XHANDLERS`` at import time, so importing them in a fixed
+order right after :mod:`repro.vm.machine` pins the extended opcode
+numbers — cached artifacts that pickle fused/quickened streams decode
+identically in every process.
 """
 
 from .bytecode import BytecodeFunction, BytecodeProgram, disassemble
-from .machine import VirtualMachine
+from .machine import VirtualMachine, register_xop
+from .fusion import fuse_function, fuse_program, mine_hot_pairs
+from .quicken import quicken_function
+from .closure import ClosureVirtualMachine, compile_function, function_source
 from .profiler import ProfilingVirtualMachine, VMProfile, profile_run
 from .translate import translate_graph, translate_program
 
 __all__ = [
     "BytecodeFunction",
     "BytecodeProgram",
+    "ClosureVirtualMachine",
     "ProfilingVirtualMachine",
     "VMProfile",
     "VirtualMachine",
+    "compile_function",
     "disassemble",
+    "function_source",
+    "fuse_function",
+    "fuse_program",
+    "mine_hot_pairs",
     "profile_run",
+    "quicken_function",
+    "register_xop",
     "translate_graph",
     "translate_program",
 ]

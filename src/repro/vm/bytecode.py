@@ -113,7 +113,25 @@ class BytecodeFunction:
     ``0..nparams-1``.  ``entry_block`` is the IR entry block, recorded
     at frame entry by profiling runs exactly like the reference
     interpreter's block-entry hook.
+
+    ``xcode`` is the fused fast stream built by :mod:`repro.vm.fusion`:
+    a mutable *list* parallel to ``code`` where every tuple carries a
+    trailing step weight (1 for plain ops, 2 for superinstructions) and
+    quickening (:mod:`repro.vm.quicken`) rewrites sites in place on a
+    function's first execution.  ``blocks`` records the basic-block
+    layout as ``(start_pc, instruction_count, block_name)`` spans, and
+    ``const_base``/``const_count`` delimit the interned-constant
+    register range — both feed fusion mining, constant baking and the
+    closure engine's block-at-a-time lowering.  The extended fields are
+    **class-level defaults** so schema-v2 pickles (plain flat-tuple
+    bytecode) rehydrate cleanly and simply skip the fast paths.
     """
+
+    xcode: Optional[list] = None
+    quickened: bool = True
+    blocks: tuple = ()
+    const_base: int = 0
+    const_count: int = 0
 
     def __init__(self, name: str, nparams: int) -> None:
         self.name = name

@@ -253,6 +253,7 @@ class _GraphTranslator:
     def translate(self, fn: BytecodeFunction) -> BytecodeFunction:
         self._assign_registers()
         code: list[list] = []
+        spans: list[tuple[int, int, str]] = []
         self.block_pc: dict = {}
         for block in self.order:
             self.block_pc[block] = len(code)
@@ -260,6 +261,7 @@ class _GraphTranslator:
             for ins in block.instructions:
                 code.append(self._encode(ins))
             code.append(self._encode_terminator(block.terminator))
+            spans.append((first, len(code) - first, block.name))
             if block.phis:
                 # Phi entry cost rides on the block's first instruction
                 # (always present: at minimum the terminator).
@@ -279,6 +281,9 @@ class _GraphTranslator:
         fn.code = tuple(tuple(ins) for ins in code)
         fn.template = template
         fn.entry_block = self.graph.entry
+        fn.blocks = tuple(spans)
+        fn.const_base = self.first_const
+        fn.const_count = len(self.constants)
         return fn
 
 
@@ -305,12 +310,20 @@ def translate_program(
     program: Program,
     cycle_cost: Callable = cycles_of,
     terminator_cost: Callable = cycles_of,
+    fuse: bool = True,
+    vmprofile=None,
 ) -> BytecodeProgram:
     """Translate a whole program into executable bytecode.
 
     Cost functions default to the node cost model so metered VM runs
     report the same cycle totals as the metered reference interpreter;
     pass custom functions to bake a different model.
+
+    ``fuse=True`` (default) also builds each function's fused fast
+    stream (:mod:`repro.vm.fusion`), mining hot pairs from
+    ``vmprofile`` when given and from static block frequencies
+    otherwise — cached artifacts therefore carry superinstructions.
+    ``fuse=False`` yields the plain flat-tuple stream only.
     """
     functions = {
         name: BytecodeFunction(name, len(graph.parameters))
@@ -321,4 +334,9 @@ def translate_program(
     globals_init = tuple(
         (name, ty.default_value()) for name, ty in program.globals.items()
     )
-    return BytecodeProgram(functions, globals_init)
+    bytecode = BytecodeProgram(functions, globals_init)
+    if fuse:
+        from .fusion import fuse_program
+
+        fuse_program(program, bytecode, vmprofile=vmprofile)
+    return bytecode

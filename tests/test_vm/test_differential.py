@@ -53,6 +53,21 @@ def test_mutants_identical_on_both_engines(seed):
     )
 
 
+def test_cross_product_covers_every_engine():
+    # validate_engines defaults to the full matrix: the reference
+    # interpreter plus all three VM engines, every pair compared.
+    result = validate_engines(EXAMPLES[0].read_text(), "main", [[2]])
+    assert result.ok
+    assert set(result.configs) >= {"reference", "vm", "vm-nofuse", "closure"}
+
+
+def test_fuzz_engines_smoke_over_full_matrix():
+    from repro.analysis.validate import fuzz_engines
+
+    report = fuzz_engines(seed=1234, programs=6)
+    assert report.ok, report.format()
+
+
 def test_unoptimized_programs_also_agree():
     # The differential holds for raw front-end output too, not only for
     # the optimized pipeline product validate_engines exercises.
