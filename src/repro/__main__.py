@@ -42,6 +42,7 @@ import json
 import pathlib
 import sys
 
+from .analysis.bcverify import BytecodeVerificationError
 from .analysis.blame import CHECK_EACH_PHASE, CHECK_MODES, CHECK_OFF, PhaseBlameError
 from .bench.harness import format_suite_report, run_suite, suite_report_json
 from .bench.trajectory import (
@@ -118,6 +119,15 @@ def _add_check_flags(parser: argparse.ArgumentParser, default: str = CHECK_OFF) 
         choices=CHECK_MODES,
         help="run the IR sanitizers while compiling (see docs/ANALYSIS.md)",
     )
+    parser.add_argument(
+        "--check-bc",
+        default="off",
+        choices=("off", "load", "rewrite"),
+        help="statically verify VM bytecode: 'load' checks every cache "
+        "artifact before it runs (reject -> evict + recompile), "
+        "'rewrite' additionally checks freshly fused/quickened streams "
+        "(see docs/ANALYSIS.md)",
+    )
     group = parser.add_mutually_exclusive_group()
     group.add_argument(
         "--fail-fast",
@@ -159,7 +169,11 @@ def _add_cache_flags(
 def _make_cache(args: argparse.Namespace) -> ArtifactCache | None:
     if args.no_cache or args.cache_dir is None:
         return None
-    return ArtifactCache(args.cache_dir)
+    check_bc = getattr(args, "check_bc", "off")
+    return ArtifactCache(
+        args.cache_dir,
+        verify_bytecode="load" if check_bc != "off" else "off",
+    )
 
 
 def _emit_cache_stats(args: argparse.Namespace, cache: ArtifactCache | None) -> None:
@@ -323,7 +337,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         if _report_guard_failures(guard):
             return 1
         if cache is not None:
-            bytecode = translate_program(program)
+            try:
+                bytecode = translate_program(
+                    program, check_bc=args.check_bc
+                )
+            except BytecodeVerificationError as exc:
+                print(exc.report.format(), file=sys.stderr)
+                return 1
             cache.put(
                 make_entry(
                     key, program, report,
@@ -334,18 +354,24 @@ def cmd_run(args: argparse.Namespace) -> int:
                 tracer,
             )
     vmprofile = None
-    if args.profile_run:
-        # Profiling implies the VM: the profiler is a specialization of
-        # its metered dispatch loop, so cycles match --engine=vm runs.
-        cycles, results, vmprofile = profile_run(
-            program, entry=args.entry, arg_sets=[tuple(args.args)],
-            bytecode=bytecode,
-        )
-    else:
-        cycles, results = measure_performance(
-            program, args.entry, [args.args],
-            engine=args.engine, bytecode=bytecode,
-        )
+    try:
+        if args.profile_run:
+            # Profiling implies the VM: the profiler is a specialization
+            # of its metered dispatch loop, so cycles match --engine=vm
+            # runs.
+            cycles, results, vmprofile = profile_run(
+                program, entry=args.entry, arg_sets=[tuple(args.args)],
+                bytecode=bytecode,
+            )
+        else:
+            cycles, results = measure_performance(
+                program, args.entry, [args.args],
+                engine=args.engine, bytecode=bytecode,
+                check_bc=args.check_bc,
+            )
+    except BytecodeVerificationError as exc:
+        print(exc.report.format(), file=sys.stderr)
+        return 1
     result = results[0]
     if result.trapped:
         print(f"trap: {result.trap}", file=sys.stderr)
@@ -447,9 +473,12 @@ def _check_one_file(
         if cached is not None:
             # Entries are only written for clean checked compiles, so a
             # hit skips the pipeline (and its guards) entirely; the
-            # whole-program sweeps below still run on the rehydrated IR.
+            # whole-program sweeps below still run on the rehydrated IR
+            # (and, for --verify-bytecode, the rehydrated bytecode).
             program = cached.program()
-            return _check_program_sweeps(path, args, program)
+            return _check_program_sweeps(
+                path, args, program, bytecode=cached.bytecode()
+            )
     compile_tracer = tracer if tracer is not None else (
         Tracer() if cache is not None else None
     )
@@ -463,21 +492,30 @@ def _check_one_file(
         print(exc.format_blame(), file=sys.stderr)
         return 1
     failures += _report_guard_failures(guard)
+    bytecode = None
     if cache is not None and failures == 0:
+        try:
+            bytecode = translate_program(program, check_bc=args.check_bc)
+        except BytecodeVerificationError as exc:
+            print(f"{path}:", file=sys.stderr)
+            print(exc.report.format(), file=sys.stderr)
+            return failures + len(exc.report.errors())
         cache.put(
             make_entry(
                 key, program, report,
                 events=compile_tracer.events,
                 counters=compile_tracer.counters,
-                bytecode=translate_program(program),
+                bytecode=bytecode,
             ),
             tracer,
         )
-    return failures + _check_program_sweeps(path, args, program)
+    return failures + _check_program_sweeps(
+        path, args, program, bytecode=bytecode
+    )
 
 
 def _check_program_sweeps(
-    path: pathlib.Path, args: argparse.Namespace, program
+    path: pathlib.Path, args: argparse.Namespace, program, bytecode=None
 ) -> int:
     """The post-compile sweeps: registered IR checkers plus optional
     LIR and dynamic-stamp validation; returns the failure count."""
@@ -539,6 +577,21 @@ def _check_program_sweeps(
         for record in result.divergences:
             print(f"{path}: engine-diff: {record.format()}", file=sys.stderr)
             failures += 1
+
+    if getattr(args, "verify_bytecode", False):
+        from .analysis.bcverify import verify_bytecode
+
+        if bytecode is None:
+            bytecode = translate_program(program)
+        # The full profile: every checker including the codegen lint
+        # and a quickened clone of each function, keep-going.
+        report = verify_bytecode(bytecode, program, quicken=True)
+        for violation in report.errors():
+            print(f"{path}: {violation.format()}", file=sys.stderr)
+            failures += 1
+        if not hasattr(args, "_bc_reports"):
+            args._bc_reports = []
+        args._bc_reports.append({"file": str(path), **report.to_json()})
     return failures
 
 
@@ -589,6 +642,24 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(report.format())
         failures += len(report.divergences) + len(report.compile_failures)
 
+    corruption_json = None
+    if args.fuzz_corruption:
+        from .analysis.bcverify import corruption_campaign
+
+        report = corruption_campaign(
+            seed=args.seed, corruptions=args.fuzz_corruption, config=config
+        )
+        print(report.format())
+        failures += report.total - report.rejected
+        corruption_json = report.to_json()
+
+    if args.bc_report:
+        payload = {
+            "files": getattr(args, "_bc_reports", []),
+            "corruption": corruption_json,
+        }
+        args.bc_report.write_text(json.dumps(payload, indent=2) + "\n")
+
     _emit_observability(args, tracer)
     _emit_cache_stats(args, cache)
     status = "ok" if failures == 0 else f"{failures} failure(s)"
@@ -612,6 +683,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         entry=args.entry,
         args=tuple(args.args),
         check_ir=args.check_ir,
+        check_bc=args.check_bc,
         fail_fast=args.fail_fast,
         cache=cache,
     )
@@ -1031,6 +1103,29 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="also engine-validate N mutants of the checked sources "
         "(reference interpreter vs every VM engine)",
+    )
+    check_parser.add_argument(
+        "--verify-bytecode",
+        action="store_true",
+        help="run the static bytecode verifier over each file's VM "
+        "translation, including quickened streams and the closure "
+        "codegen lint (see docs/ANALYSIS.md)",
+    )
+    check_parser.add_argument(
+        "--fuzz-corruption",
+        type=int,
+        default=0,
+        metavar="N",
+        help="corrupt cached bytecode artifacts N times (seeded) and "
+        "demand every mutation is rejected at load",
+    )
+    check_parser.add_argument(
+        "--bc-report",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the bytecode-verifier + corruption-campaign report "
+        "as JSON",
     )
     _add_observability(check_parser)
     _add_metrics_flags(check_parser)

@@ -1,12 +1,15 @@
 """``repro.analysis`` — the pluggable static-analysis framework.
 
-A decorator-registered checker registry over the IR and LIR
-(:mod:`~repro.analysis.core`, :mod:`~repro.analysis.checkers`,
-:mod:`~repro.analysis.lir_checks`), per-phase invariant checking with
-phase-blame diagnostics (:mod:`~repro.analysis.blame`, wired into
-``Phase.run`` and the ``--check-ir`` pipeline modes), and a
-translation-validation harness (:mod:`~repro.analysis.validate`,
-behind ``repro check --fuzz``).  See ``docs/ANALYSIS.md``.
+A decorator-registered checker registry over the IR, LIR and VM
+bytecode (:mod:`~repro.analysis.core`, :mod:`~repro.analysis.checkers`,
+:mod:`~repro.analysis.lir_checks`, :mod:`~repro.analysis.bcverify`),
+per-phase invariant checking with phase-blame diagnostics
+(:mod:`~repro.analysis.blame`, wired into ``Phase.run`` and the
+``--check-ir`` pipeline modes), a translation-validation harness
+(:mod:`~repro.analysis.validate`, behind ``repro check --fuzz``), and
+the static bytecode verifier with its dataflow framework and artifact
+corruption campaigns (``--check-bc``, ``repro check
+--verify-bytecode``/``--fuzz-corruption``).  See ``docs/ANALYSIS.md``.
 
 Typical use::
 
@@ -69,6 +72,15 @@ from .progen import (
     mutated_program,
     random_program,
 )
+from .bcverify import (
+    BcVerifyReport,
+    BytecodeVerificationError,
+    CorruptionReport,
+    corruption_campaign,
+    run_bc_checkers,
+    verify_artifact,
+    verify_bytecode,
+)
 
 __all__ = [
     "CHECK_BOUNDARIES",
@@ -76,9 +88,12 @@ __all__ = [
     "CHECK_MODES",
     "CHECK_OFF",
     "CORE_CHECKERS",
+    "BcVerifyReport",
+    "BytecodeVerificationError",
     "CheckReport",
     "Checker",
     "CheckerContext",
+    "CorruptionReport",
     "DivergenceRecord",
     "FuzzReport",
     "LirCheckerContext",
@@ -95,6 +110,7 @@ __all__ = [
     "all_checkers",
     "check_stamp_dynamic",
     "checker",
+    "corruption_campaign",
     "current_guard",
     "fuzz_engines",
     "fuzz_mutations",
@@ -102,6 +118,7 @@ __all__ = [
     "get_checker",
     "mutated_program",
     "random_program",
+    "run_bc_checkers",
     "run_checkers",
     "run_lir_checkers",
     "run_program_checkers",
@@ -109,4 +126,6 @@ __all__ = [
     "use_guard",
     "validate_engines",
     "validate_translation",
+    "verify_artifact",
+    "verify_bytecode",
 ]

@@ -1,0 +1,297 @@
+"""Bytecode CFG recovery: block structure over flat instruction streams.
+
+The verifier's first job is turning a translated function's flat
+instruction stream back into a control-flow graph it can reason about.
+:func:`build_cfg` walks the block spans recorded at translation time
+(``fn.blocks``), decodes each instruction through the
+:mod:`repro.vm.opspec` registry, and produces a :class:`BytecodeCFG`
+whose blocks know their executable sites, their terminator and their
+successor edges.  It works over either stream of a function:
+
+* the plain ``fn.code`` stream (``fused=False``) — every pc is a site;
+* the fast ``fn.xcode`` stream (``fused=True``) — sites advance by the
+  step weight baked into each tuple, and the slots a superinstruction
+  consumed are collected as *padding* (they must be unreachable).
+
+Anything that prevents sound CFG recovery — an unknown opcode, a span
+tiling mismatch, a terminator in the middle of a block, a block that
+falls through without one, a branch into the middle of a block —
+raises :class:`DecodeError`; the structure checker converts that into
+a report violation and the downstream dataflow checkers skip the
+function.
+
+:func:`instruction_events` linearizes one instruction into its
+``("use", reg)`` / ``("def", reg)`` / ``("edge", descriptor)`` events
+in execution order, recursing through the generic fused forms' embedded
+constituent tuples — the one decoder every dataflow analysis shares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...vm.opspec import BASE_FAMILIES, OPCODE_SPECS, OpSpec
+
+
+class DecodeError(Exception):
+    """An instruction stream cannot be soundly decoded into a CFG."""
+
+
+def spec_of(ins_or_op) -> OpSpec:
+    """The :class:`OpSpec` for an opcode (or instruction tuple)."""
+    opcode = ins_or_op[0] if isinstance(ins_or_op, tuple) else ins_or_op
+    spec = OPCODE_SPECS.get(opcode)
+    if spec is None:
+        raise DecodeError(f"unknown opcode {opcode!r}")
+    return spec
+
+
+def is_terminator(ins: tuple) -> bool:
+    """Does this (possibly fused) instruction end its basic block?
+
+    The generic pair form is dynamic: ``fused2`` terminates exactly
+    when its embedded second half does.
+    """
+    spec = spec_of(ins)
+    if spec.family == "fused2":
+        return spec_of(ins[5]).terminator
+    return spec.terminator
+
+
+def _emit_events(ins: tuple, fused: bool, out: list) -> None:
+    spec = spec_of(ins)
+    fam = spec.family
+    if fam == "base":
+        for i, kind in enumerate(spec.sig):
+            if kind == "r":
+                out.append(("use", ins[4 + i]))
+        if ins[3] >= 0:
+            out.append(("def", ins[3]))
+    elif fam == "call":
+        for reg in ins[5]:
+            out.append(("use", reg))
+        out.append(("def", ins[3]))
+    elif fam == "goto":
+        out.append(("edge", ins[4]))
+    elif fam == "if":
+        out.append(("use", ins[4]))
+        out.append(("edge", ins[5]))
+        out.append(("edge", ins[6]))
+    elif fam == "return":
+        if ins[4] >= 0:
+            out.append(("use", ins[4]))
+    elif fam == "fused-if":
+        out += [("use", ins[4]), ("use", ins[5]), ("def", ins[3]),
+                ("edge", ins[6]), ("edge", ins[7])]
+    elif fam == "fused-pair":
+        out += [("use", ins[4]), ("use", ins[5]), ("def", ins[3]),
+                ("use", ins[7]), ("use", ins[8]), ("def", ins[6])]
+    elif fam == "fused-goto":
+        out += [("use", ins[4]), ("use", ins[5]), ("def", ins[3]),
+                ("edge", ins[6])]
+    elif fam == "fused-triple":
+        for d, x, y in ((3, 4, 5), (6, 7, 8), (9, 10, 11)):
+            out += [("use", ins[x]), ("use", ins[y]), ("def", ins[d])]
+    elif fam == "fused2":
+        _emit_events(ins[4], False, out)
+        _emit_events(ins[5], False, out)
+    elif fam == "fused2-goto":
+        _emit_events(ins[4], False, out)
+        out.append(("edge", ins[5]))
+    elif fam == "quick-const":
+        out += [("use", ins[4]), ("def", ins[3])]
+    elif fam == "quick-guard":
+        out += [("use", ins[4]), ("use", ins[5]), ("def", ins[3])]
+    else:  # pragma: no cover - every registered family is handled
+        raise DecodeError(f"unhandled instruction family {fam!r}")
+
+
+def instruction_events(ins: tuple, fused: bool = False) -> list:
+    """``("use", r)`` / ``("def", r)`` / ``("edge", e)`` in exec order."""
+    out: list = []
+    _emit_events(ins, fused, out)
+    return out
+
+
+@dataclass
+class BCBlock:
+    """One recovered basic block of an instruction stream."""
+
+    index: int
+    name: str
+    start: int
+    count: int
+    #: executable site pcs in order (for a fused stream, superinstruction
+    #: heads only — consumed slots are in the CFG's padding set)
+    pcs: tuple = ()
+    terminator_pc: int = -1
+    #: outgoing edge descriptors, parallel to ``succs``
+    edges: tuple = ()
+    #: successor block indices, parallel to ``edges``
+    succs: tuple = ()
+    preds: tuple = ()
+
+
+class BytecodeCFG:
+    """The recovered control-flow graph of one stream of a function."""
+
+    def __init__(
+        self,
+        fn,
+        fused: bool,
+        blocks: list[BCBlock],
+        padding: frozenset,
+    ) -> None:
+        self.fn = fn
+        self.fused = fused
+        self.blocks = blocks
+        self.by_start = {block.start: block for block in blocks}
+        self.padding = padding
+
+    @property
+    def entry(self) -> BCBlock:
+        return self.blocks[0]
+
+    def stream(self) -> list:
+        return self.fn.xcode if self.fused else self.fn.code
+
+    def __repr__(self) -> str:
+        kind = "xcode" if self.fused else "code"
+        return (
+            f"<BytecodeCFG {self.fn.name}/{kind}: {len(self.blocks)} "
+            f"block(s), {len(self.padding)} padding slot(s)>"
+        )
+
+
+def _edge_target(edge) -> int:
+    if (
+        not isinstance(edge, tuple)
+        or len(edge) != 4
+        or not isinstance(edge[0], int)
+    ):
+        raise DecodeError(f"malformed edge descriptor {edge!r}")
+    return edge[0]
+
+
+def build_cfg(fn, fused: bool = False) -> BytecodeCFG:
+    """Recover the CFG of one stream; raises :class:`DecodeError`.
+
+    Requires span metadata (``fn.blocks``) — legacy artifacts without
+    it cannot be verified structurally beyond per-tuple shape.
+    """
+    stream = fn.xcode if fused else fn.code
+    if fused and stream is None:
+        raise DecodeError("function has no fast stream (fn.xcode is None)")
+    if not fn.blocks:
+        raise DecodeError("function has no block-span metadata")
+    spans = sorted(fn.blocks, key=lambda span: span[0])
+    expected_start = 0
+    for start, count, _name in spans:
+        if start != expected_start or count <= 0:
+            raise DecodeError(
+                f"block spans do not tile the stream: span at {start} "
+                f"(expected {expected_start}, count {count})"
+            )
+        expected_start = start + count
+    if expected_start != len(stream):
+        raise DecodeError(
+            f"block spans cover {expected_start} slots but the stream "
+            f"has {len(stream)}"
+        )
+    if fused and len(stream) != len(fn.code):
+        raise DecodeError(
+            f"fast stream length {len(stream)} != code length {len(fn.code)}"
+        )
+
+    blocks: list[BCBlock] = []
+    padding: set[int] = set()
+    for index, (start, count, name) in enumerate(spans):
+        end = start + count
+        pcs: list[int] = []
+        terminator_pc = -1
+        pc = start
+        while pc < end:
+            ins = stream[pc]
+            if not isinstance(ins, tuple) or len(ins) < 4:
+                raise DecodeError(f"malformed instruction at pc {pc}: {ins!r}")
+            spec = spec_of(ins)
+            if fused:
+                weight = ins[-1]
+                if not isinstance(weight, int) or weight < 1:
+                    raise DecodeError(
+                        f"bad step weight {weight!r} at pc {pc}"
+                    )
+            else:
+                weight = 1
+                if spec.family not in BASE_FAMILIES:
+                    raise DecodeError(
+                        f"fused-only opcode {spec.name!r} in the plain "
+                        f"code stream at pc {pc}"
+                    )
+            pcs.append(pc)
+            padding.update(range(pc + 1, pc + weight))
+            if is_terminator(ins):
+                if pc + weight != end:
+                    raise DecodeError(
+                        f"terminator {spec.name!r} in the middle of "
+                        f"block {name!r} at pc {pc}"
+                    )
+                terminator_pc = pc
+            pc += weight
+        if pc != end:
+            raise DecodeError(
+                f"superinstruction at pc {pcs[-1]} spans past the end "
+                f"of block {name!r}"
+            )
+        if terminator_pc < 0:
+            raise DecodeError(f"block {name!r} falls through (no terminator)")
+        blocks.append(
+            BCBlock(
+                index=index, name=name, start=start, count=count,
+                pcs=tuple(pcs), terminator_pc=terminator_pc,
+            )
+        )
+
+    cfg = BytecodeCFG(fn, fused, blocks, frozenset(padding))
+    preds: dict[int, list[int]] = {block.index: [] for block in blocks}
+    for block in blocks:
+        edges = [
+            event[1]
+            for event in instruction_events(
+                stream[block.terminator_pc], fused
+            )
+            if event[0] == "edge"
+        ]
+        succs = []
+        for edge in edges:
+            target = _edge_target(edge)
+            succ = cfg.by_start.get(target)
+            if succ is None:
+                if 0 <= target < len(stream):
+                    raise DecodeError(
+                        f"branch from block {block.name!r} into the middle "
+                        f"of a block (pc {target})"
+                    )
+                raise DecodeError(
+                    f"branch target {target} out of range in block "
+                    f"{block.name!r}"
+                )
+            succs.append(succ.index)
+            preds[succ.index].append(block.index)
+        block.edges = tuple(edges)
+        block.succs = tuple(succs)
+    for block in blocks:
+        block.preds = tuple(preds[block.index])
+    return cfg
+
+
+__all__ = [
+    "BCBlock",
+    "BytecodeCFG",
+    "DecodeError",
+    "build_cfg",
+    "instruction_events",
+    "is_terminator",
+    "spec_of",
+]

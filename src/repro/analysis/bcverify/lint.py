@@ -1,0 +1,232 @@
+"""Static lint over the closure engine's exec-generated source.
+
+The closure engine (:mod:`repro.vm.closure`) compiles each function to
+Python source and ``exec``\\s it.  That source is generated from data
+that may have travelled through a cache file, so the verifier lints the
+*text* (without executing it) for the properties the codegen promises:
+
+* it parses, and consists only of module-level function definitions
+  (the ``_blk_<pc>`` block closures plus the ``_drive`` trampoline);
+* no **banned names** anywhere (``eval``, ``exec``, ``open``, ... —
+  generated code has no business reaching them) and no name reads
+  outside the closed set the compiler seeds: the fixed support
+  namespace, the two whitelisted builtins, per-function ``_blk_*`` /
+  ``_f<N>`` cells, parameters, and locals assigned in the function;
+* **balanced accounting**: per block closure, the ``m[0] += K`` step
+  increments sum to exactly the block's instruction count, and the
+  ``m[1] += C`` cycle increments sum to the block's total baked cost;
+* every ``raise EvaluationTrap(...)`` inside a block closure is
+  preceded (in the same statement suite) by a ``state.steps = ...``
+  meter flush, so traps can never escape with stale accounting.
+
+:func:`lint_closure_source` returns plain message strings; the
+``bc-codegen-lint`` checker turns them into report violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+
+from ...vm.closure import CLOSURE_BUILTINS, CLOSURE_NAMESPACE, generate_source
+
+#: names generated code must never mention, in any position
+BANNED_NAMES = frozenset(
+    (
+        "eval", "exec", "compile", "__import__", "open",
+        "globals", "locals", "vars", "getattr", "setattr", "delattr",
+        "input", "breakpoint", "__builtins__",
+    )
+)
+
+_GENERATED_NAME = re.compile(r"\A(_blk_\d+|_f\d+)\Z")
+_BLOCK_DEF = re.compile(r"\A_blk_(\d+)\Z")
+
+
+def _literal(node) -> object:
+    """The numeric value of an AST literal, or None if it isn't one."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+    ):
+        return -node.operand.value
+    return None
+
+
+def _meter_increments(func: ast.FunctionDef, slot: int) -> list:
+    """Values of every ``m[<slot>] += <literal>`` in the function."""
+    found = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.op, ast.Add)
+            and isinstance(node.target, ast.Subscript)
+            and isinstance(node.target.value, ast.Name)
+            and node.target.value.id == "m"
+            and isinstance(node.target.slice, ast.Constant)
+            and node.target.slice.value == slot
+        ):
+            found.append(_literal(node.value))
+    return found
+
+
+def _is_trap_raise(stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Raise)
+        and isinstance(stmt.exc, ast.Call)
+        and isinstance(stmt.exc.func, ast.Name)
+        and stmt.exc.func.id == "EvaluationTrap"
+    )
+
+
+def _is_steps_flush(stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Attribute)
+        and stmt.targets[0].attr == "steps"
+        and isinstance(stmt.targets[0].value, ast.Name)
+        and stmt.targets[0].value.id == "state"
+    )
+
+
+def _statement_suites(func: ast.FunctionDef):
+    """Every statement list in the function, nested suites included."""
+    yield func.body
+    for node in ast.walk(func):
+        for attr in ("body", "orelse", "finalbody"):
+            suite = getattr(node, attr, None)
+            if node is not func and isinstance(suite, list) and suite:
+                yield suite
+
+
+def _lint_names(func: ast.FunctionDef, messages: list) -> None:
+    params = {arg.arg for arg in func.args.args}
+    assigned = {
+        node.id
+        for node in ast.walk(func)
+        if isinstance(node, ast.Name)
+        and isinstance(node.ctx, (ast.Store, ast.Del))
+    }
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Name):
+            continue
+        name = node.id
+        if name in BANNED_NAMES:
+            messages.append(
+                f"{func.name}: banned name {name!r} in generated source"
+            )
+        elif isinstance(node.ctx, ast.Load) and not (
+            name in params
+            or name in assigned
+            or name in CLOSURE_NAMESPACE
+            or name in CLOSURE_BUILTINS
+            or _GENERATED_NAME.match(name)
+        ):
+            messages.append(
+                f"{func.name}: generated source reads unexpected "
+                f"global {name!r}"
+            )
+
+
+def _lint_accounting(
+    func: ast.FunctionDef,
+    start: int,
+    spans: dict,
+    code: tuple,
+    metered: bool,
+    messages: list,
+) -> None:
+    count = spans.get(start)
+    if count is None:
+        messages.append(
+            f"{func.name}: no block span starts at pc {start}"
+        )
+        return
+    steps = _meter_increments(func, 0)
+    if None in steps:
+        messages.append(f"{func.name}: non-literal step increment")
+        return
+    if sum(steps) != count:
+        messages.append(
+            f"{func.name}: step increments sum to {sum(steps)} but the "
+            f"block has {count} instruction(s)"
+        )
+    if metered:
+        cycles = _meter_increments(func, 1)
+        if None in cycles:
+            messages.append(f"{func.name}: non-literal cycle increment")
+            return
+        expected = 0
+        for pc in range(start, start + count):
+            expected = expected + code[pc][1]
+        total = sum(cycles)
+        if total != expected and not math.isclose(
+            total, expected, rel_tol=1e-12, abs_tol=1e-12
+        ):
+            messages.append(
+                f"{func.name}: cycle increments sum to {total!r} but the "
+                f"block's baked costs sum to {expected!r}"
+            )
+
+
+def _lint_trap_flushes(func: ast.FunctionDef, messages: list) -> None:
+    for suite in _statement_suites(func):
+        for position, stmt in enumerate(suite):
+            if _is_trap_raise(stmt) and not any(
+                _is_steps_flush(prior) for prior in suite[:position]
+            ):
+                messages.append(
+                    f"{func.name}: EvaluationTrap raised without a "
+                    f"preceding state.steps flush (line {stmt.lineno})"
+                )
+
+
+def lint_closure_source(fn, metered: bool = True) -> list[str]:
+    """Lint the closure source for ``fn``; returns message strings."""
+    messages: list[str] = []
+    try:
+        source = generate_source(fn, metered=metered)
+    except Exception as exc:
+        return [f"closure codegen failed: {type(exc).__name__}: {exc}"]
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [f"generated source does not parse: {exc}"]
+
+    spans = {start: count for start, count, _name in fn.blocks}
+    seen_blocks = set()
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            messages.append(
+                f"unexpected module-level statement in generated source "
+                f"(line {node.lineno})"
+            )
+            continue
+        _lint_names(node, messages)
+        match = _BLOCK_DEF.match(node.name)
+        if match:
+            start = int(match.group(1))
+            seen_blocks.add(start)
+            _lint_accounting(
+                node, start, spans, fn.code, metered, messages
+            )
+            _lint_trap_flushes(node, messages)
+        elif node.name != "_drive":
+            messages.append(
+                f"unexpected generated function {node.name!r}"
+            )
+    missing = sorted(set(spans) - seen_blocks)
+    if missing:
+        messages.append(
+            f"no closure generated for block(s) at pc {missing}"
+        )
+    return messages
+
+
+__all__ = ["BANNED_NAMES", "lint_closure_source"]

@@ -37,6 +37,7 @@ from ..obs.tracer import current_tracer
 
 SCOPE_IR = "ir"
 SCOPE_LIR = "lir"
+SCOPE_BC = "bc"
 
 
 class Severity(enum.Enum):

@@ -66,6 +66,7 @@ HISTOGRAM_BUCKETS: dict[str, tuple[float, ...]] = {
     "repro_compile_unit_seconds": SECONDS_BUCKETS,
     "repro_batch_job_seconds": SECONDS_BUCKETS,
     "repro_cache_entry_bytes": BYTES_BUCKETS,
+    "repro_bcverify_seconds": SECONDS_BUCKETS,
 }
 
 #: HELP strings for the Prometheus exposition
@@ -86,6 +87,10 @@ METRIC_HELP: dict[str, str] = {
     "repro_dbds_backtrack_total": "Backtracking-baseline attempts by outcome.",
     "repro_analysis_violations_total": "IR sanitizer findings by severity.",
     "repro_vm_runs_total": "Measured program executions by engine.",
+    "repro_bcverify_runs_total": "Bytecode verifier runs by result (ok/fail).",
+    "repro_bcverify_seconds": "Wall time per bytecode verifier run.",
+    "repro_bcverify_rejected_artifacts_total":
+        "Cache artifacts rejected by the bytecode verifier at load.",
 }
 
 #: label-set key used inside snapshots: "" or "k=v,k2=v2" (sorted)

@@ -64,6 +64,12 @@ class BatchOptions:
     #: one profiling argument set for the entry function
     args: tuple[int, ...] = (10,)
     check_ir: str = CHECK_OFF
+    #: ``--check-bc`` mode: "rewrite" verifies each worker's freshly
+    #: translated bytecode (a failure is that file's ``error``); cache
+    #: *loads* are verified by the cache itself when it was built with
+    #: ``verify_bytecode != "off"``.  Not part of the cache key — the
+    #: verifier only accepts/rejects, it never changes the artifact.
+    check_bc: str = "off"
     fail_fast: bool = True
     cache: Optional[ArtifactCache] = None
 
@@ -243,14 +249,26 @@ def _compile_worker(task: dict[str, Any]) -> dict[str, Any]:
         result["error"] = f"{type(exc).__name__}: {exc}"
         result["metrics"] = registry.snapshot().to_json()
         return result
+    from ..analysis.bcverify import BytecodeVerificationError
     from ..vm import translate_program
     from .cache import artifact_manifest, pack_artifact
 
-    with use_registry(registry):
-        # Translation (superinstruction fusion counts fused sites on
-        # the ambient registry) must run under the worker registry too,
-        # or serial and parallel batches would merge different totals.
-        program_blob = pack_artifact(program, translate_program(program))
+    try:
+        with use_registry(registry):
+            # Translation (superinstruction fusion counts fused sites on
+            # the ambient registry) must run under the worker registry
+            # too, or serial and parallel batches would merge different
+            # totals.
+            program_blob = pack_artifact(
+                program,
+                translate_program(
+                    program, check_bc=task.get("check_bc", "off")
+                ),
+            )
+    except BytecodeVerificationError as exc:
+        result["error"] = exc.report.summary()
+        result["metrics"] = registry.snapshot().to_json()
+        return result
     result.update(
         report=report.to_json(),
         manifest=artifact_manifest(program, report, tracer.events),
@@ -351,6 +369,7 @@ def compile_batch(
             "entry": options.entry,
             "args": tuple(options.args),
             "check_ir": options.check_ir,
+            "check_bc": options.check_bc,
             "fail_fast": options.fail_fast,
         }
         pending.append((index, task, key))

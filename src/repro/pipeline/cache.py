@@ -337,9 +337,15 @@ class ArtifactCache:
     partially written entry — worst case it misses.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self, root: Union[str, Path], verify_bytecode: str = "off"
+    ) -> None:
         self.root = Path(root)
         self.stats = CacheStats()
+        #: ``--check-bc`` mode: anything but "off" runs the static
+        #: bytecode verifier on every loaded artifact before it can
+        #: reach a dispatch loop (failure → evict + miss → recompile)
+        self.verify_bytecode = verify_bytecode
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.entry"
@@ -366,12 +372,52 @@ class ArtifactCache:
             tracer.event("cache.miss", key=key)
             registry.inc("repro_cache_lookups_total", result="miss")
             return None
+        if self.verify_bytecode != "off":
+            reason = self._verify_entry(entry)
+            if reason is not None:
+                self._evict(key, path, reason, tracer)
+                registry.inc("repro_bcverify_rejected_artifacts_total")
+                self.stats.misses += 1
+                tracer.count("cache.miss")
+                tracer.event("cache.miss", key=key)
+                registry.inc("repro_cache_lookups_total", result="miss")
+                return None
         self.stats.hits += 1
         tracer.count("cache.hit")
         tracer.event("cache.hit", key=key, path=str(path))
         registry.inc("repro_cache_lookups_total", result="hit")
         registry.observe("repro_cache_entry_bytes", len(raw), op="get")
         return entry
+
+    def _verify_entry(self, entry: CacheEntry) -> Optional[str]:
+        """Statically verify a decoded artifact's bytecode.
+
+        Returns an eviction reason, or None when the entry is sound.
+        The digest check in :meth:`_decode` only proves the *file* is
+        the bytes someone wrote; this proves the decoded instruction
+        streams are well-formed and equivalent to a fresh translation
+        of the cached program, so a tampered-but-redigested artifact
+        still can't reach dispatch.
+        """
+        from ..analysis.bcverify import verify_artifact
+
+        try:
+            program = entry.program()
+            bytecode = entry.bytecode()
+        except Exception as exc:
+            return f"artifact unpickle failed: {type(exc).__name__}"
+        if bytecode is None:
+            # pre-schema-2 blob: nothing cached to verify; the caller
+            # translates fresh, which the rewrite mode covers.
+            return None
+        report = verify_artifact(program, bytecode)
+        if report.ok:
+            return None
+        errors = report.errors()
+        return (
+            f"bytecode verification failed ({len(errors)} error(s)): "
+            f"{errors[0].format()}"
+        )
 
     def put(
         self, entry: CacheEntry, tracer: Optional[Tracer] = None

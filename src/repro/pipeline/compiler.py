@@ -305,6 +305,7 @@ def make_engine(
     bytecode: Any = None,
     max_steps: int = 50_000_000,
     metered: bool = True,
+    check_bc: str = "off",
 ) -> Any:
     """Construct a runner for ``engine`` (uniform run/reset/state API).
 
@@ -314,6 +315,9 @@ def make_engine(
     closure-compiling engine.  VM engines accept a pre-translated
     ``bytecode`` program to skip re-translation (e.g. a cache hit).
     All four report identical cycles/steps/outcomes by construction.
+    ``check_bc="rewrite"`` verifies any bytecode translated here (see
+    :func:`repro.vm.translate.translate_program`); pre-translated
+    bytecode is the cache's responsibility (``--check-bc=load``).
     """
     if engine == "reference":
         return Interpreter(
@@ -329,7 +333,7 @@ def make_engine(
     from ..vm import ClosureVirtualMachine, VirtualMachine, translate_program
 
     if bytecode is None:
-        bytecode = translate_program(program)
+        bytecode = translate_program(program, check_bc=check_bc)
     if engine == "closure":
         return ClosureVirtualMachine(
             bytecode, max_steps=max_steps, metered=metered
@@ -349,6 +353,7 @@ def measure_performance(
     max_steps: int = 50_000_000,
     engine: str = "reference",
     bytecode: Any = None,
+    check_bc: str = "off",
 ) -> tuple[float, list[ExecutionResult]]:
     """Simulated peak performance: total cost-model cycles over runs.
 
@@ -359,7 +364,8 @@ def measure_performance(
     All engines report identical cycles/steps/outcomes by construction.
     """
     runner = make_engine(
-        engine, program, bytecode=bytecode, max_steps=max_steps
+        engine, program, bytecode=bytecode, max_steps=max_steps,
+        check_bc=check_bc,
     )
     results = []
     total = 0.0

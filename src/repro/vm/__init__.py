@@ -36,7 +36,8 @@ identically in every process.
 """
 
 from .bytecode import BytecodeFunction, BytecodeProgram, disassemble
-from .machine import VirtualMachine, register_xop
+from .machine import VirtualMachine, fast_op_bindings, register_xop
+from .opspec import OPCODE_SPECS, OpSpec, register_opspec
 from .fusion import fuse_function, fuse_program, mine_hot_pairs
 from .quicken import quicken_function
 from .closure import ClosureVirtualMachine, compile_function, function_source
@@ -47,17 +48,21 @@ __all__ = [
     "BytecodeFunction",
     "BytecodeProgram",
     "ClosureVirtualMachine",
+    "OPCODE_SPECS",
+    "OpSpec",
     "ProfilingVirtualMachine",
     "VMProfile",
     "VirtualMachine",
     "compile_function",
     "disassemble",
+    "fast_op_bindings",
     "function_source",
     "fuse_function",
     "fuse_program",
     "mine_hot_pairs",
     "profile_run",
     "quicken_function",
+    "register_opspec",
     "register_xop",
     "translate_graph",
     "translate_program",

@@ -180,25 +180,55 @@ def _format_edge(edge: tuple) -> str:
     return f"@{pc}({block.name}){copies}"
 
 
-def disassemble(fn: BytecodeFunction) -> str:
-    """Human-readable listing of one translated function."""
+def _format_ins(pc: int, ins: tuple) -> str:
+    op = ins[0]
+    name = OPCODE_NAMES[op]
+    dest = f"r{ins[3]} = " if ins[3] >= 0 else ""
+    if op == OP_GOTO:
+        body = _format_edge(ins[4])
+    elif op == OP_IF:
+        body = f"r{ins[4]} ? {_format_edge(ins[5])} : {_format_edge(ins[6])}"
+    elif op == OP_RETURN:
+        body = f"r{ins[4]}" if ins[4] >= 0 else ""
+    elif op == OP_CALL:
+        args = ", ".join(f"r{r}" for r in ins[5])
+        body = f"{ins[4].name}({args})"
+    else:
+        body = " ".join(
+            f"r{o}" if isinstance(o, int) else repr(o) for o in ins[4:]
+        )
+    return f"  {pc:4d}: {dest}{name} {body}".rstrip()
+
+
+def _format_xins(pc: int, ins: tuple) -> str:
+    # Lazy import: opspec depends on this module.
+    from .opspec import BASE_FAMILIES, OPCODE_SPECS
+
+    spec = OPCODE_SPECS.get(ins[0])
+    if spec is None:
+        return f"  {pc:4d}: ?op{ins[0]} {ins[1:]!r}"
+    if spec.family in BASE_FAMILIES:
+        return _format_ins(pc, ins[:-1])
+    operands = " ".join(
+        f"r{o}" if isinstance(o, int) else "<edge>" if isinstance(o, tuple)
+        and o and isinstance(o[0], int) and len(o) == 4 else repr(o)
+        for o in ins[3:-2]
+    )
+    return f"  {pc:4d}: {spec.name} [{spec.family} w={ins[-1]}] {operands}"
+
+
+def disassemble(fn: BytecodeFunction, stream: str = "code") -> str:
+    """Human-readable listing of one translated function.
+
+    ``stream="xcode"`` lists the fused/quickened fast stream instead
+    (falling back to ``fn.code`` when no fast stream exists), tagging
+    superinstructions with their family and step weight.
+    """
     lines = [f"fn {fn.name}: {fn.nparams} param(s), {fn.nregs} reg(s)"]
-    for pc, ins in enumerate(fn.code):
-        op = ins[0]
-        name = OPCODE_NAMES[op]
-        dest = f"r{ins[3]} = " if ins[3] >= 0 else ""
-        if op == OP_GOTO:
-            body = _format_edge(ins[4])
-        elif op == OP_IF:
-            body = f"r{ins[4]} ? {_format_edge(ins[5])} : {_format_edge(ins[6])}"
-        elif op == OP_RETURN:
-            body = f"r{ins[4]}" if ins[4] >= 0 else ""
-        elif op == OP_CALL:
-            args = ", ".join(f"r{r}" for r in ins[5])
-            body = f"{ins[4].name}({args})"
-        else:
-            body = " ".join(
-                f"r{o}" if isinstance(o, int) else repr(o) for o in ins[4:]
-            )
-        lines.append(f"  {pc:4d}: {dest}{name} {body}".rstrip())
+    if stream == "xcode" and fn.xcode is not None:
+        for pc, ins in enumerate(fn.xcode):
+            lines.append(_format_xins(pc, ins))
+    else:
+        for pc, ins in enumerate(fn.code):
+            lines.append(_format_ins(pc, ins))
     return "\n".join(lines)

@@ -100,6 +100,32 @@ _INT_MAX = "9223372036854775807"
 #: closure-compiled (no block spans — e.g. a legacy cache artifact)
 _FALLBACK = object()
 
+#: every global name the generated source may reference: the fixed
+#: support namespace a compiler seeds (block closures ``_blk_<pc>`` and
+#: callee cells ``_f<N>`` are added per function and matched by
+#: pattern in the lint)
+CLOSURE_NAMESPACE = frozenset(
+    ("EvaluationTrap", "HeapObject", "HeapArray",
+     "_is_ref", "_finish", "_fn", "_tmpl", "_ret")
+)
+
+#: the only builtins generated code is allowed to reach
+CLOSURE_BUILTINS = frozenset(("abs", "len", "dict"))
+
+#: base opcodes gen_ins/gen_call/gen_terminator can compile — the
+#: opcode-space exhaustiveness test asserts this covers all 32
+CLOSURE_COVERED = frozenset(
+    (
+        OP_ADD, OP_SUB, OP_MUL, OP_DIV, OP_MOD,
+        OP_AND, OP_OR, OP_XOR, OP_SHL, OP_SHR, OP_USHR,
+        OP_EQ, OP_NE, OP_LT, OP_LE, OP_GT, OP_GE,
+        OP_NOT, OP_NEG, OP_NEW,
+        OP_LOAD_FIELD, OP_STORE_FIELD, OP_LOAD_GLOBAL, OP_STORE_GLOBAL,
+        OP_NEW_ARRAY, OP_ARRAY_LOAD, OP_ARRAY_STORE, OP_ARRAY_LENGTH,
+        OP_CALL, OP_GOTO, OP_IF, OP_RETURN,
+    )
+)
+
 
 def _finish_budget(vm, fn, regs, m, pc) -> None:
     """Cold path: this segment's steps cannot all fit the budget.
@@ -453,11 +479,16 @@ class _FunctionCompiler:
         emit(1, "state.cycles = m[1]")
         emit(1, "return _ret[0]")
 
-    def compile(self) -> Callable:
+    def source(self) -> str:
+        """Generate the function's full Python source without executing
+        it — the codegen lint verifies this text statically."""
         for start, count, _name in self.fn.blocks:
             self.gen_block(start, count)
         self.gen_drive()
-        source = "\n".join(self.lines) + "\n"
+        return "\n".join(self.lines) + "\n"
+
+    def compile(self) -> Callable:
+        source = self.source()
         exec(  # noqa: S102 - the source is generated from trusted IR
             compile(source, f"<closure:{self.fn.name}>", "exec"),
             self.namespace,
@@ -483,11 +514,20 @@ def compile_function(
     return _FunctionCompiler(fn, metered, max_steps, max_call_depth).compile()
 
 
+def generate_source(
+    fn: BytecodeFunction,
+    metered: bool = True,
+    max_steps: int = 50_000_000,
+    max_call_depth: int = 200,
+) -> str:
+    """The Python source ``compile_function`` would exec, *without*
+    executing it — the static codegen lint works on this text."""
+    return _FunctionCompiler(fn, metered, max_steps, max_call_depth).source()
+
+
 def function_source(fn: BytecodeFunction, metered: bool = True) -> str:
     """The generated Python source for ``fn`` (docs and debugging)."""
-    compiler = _FunctionCompiler(fn, metered, 50_000_000, 200)
-    drive = compiler.compile()
-    return drive._source
+    return generate_source(fn, metered)
 
 
 # ----------------------------------------------------------------------
@@ -529,7 +569,11 @@ class ClosureVirtualMachine(VirtualMachine):
 
 
 __all__ = [
+    "CLOSURE_BUILTINS",
+    "CLOSURE_COVERED",
+    "CLOSURE_NAMESPACE",
     "ClosureVirtualMachine",
     "compile_function",
     "function_source",
+    "generate_source",
 ]

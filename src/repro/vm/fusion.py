@@ -67,6 +67,7 @@ from .bytecode import (
     BytecodeProgram,
 )
 from .machine import _MASK, _SIGN, _TWO64, _HANDLERS, _is_ref, register_xop
+from .opspec import OpSpec, register_opspec
 
 #: how many mined pairs beyond the always-fused cmp+branch family get
 #: superinstructions.  Twelve, because the specialized arithmetic pair
@@ -176,6 +177,18 @@ _CMP_TO_FUSED_IF = dict(
     zip(_CMP_OPS, (OP_IF_EQ, OP_IF_NE, OP_IF_LT, OP_IF_LE, OP_IF_GT, OP_IF_GE))
 )
 
+for _cmp, _xop in _CMP_TO_FUSED_IF.items():
+    register_opspec(_xop, OpSpec(
+        f"if_{OPCODE_NAMES[_cmp]}", "fused-if", weight=2,
+        origin=(_cmp, OP_IF),
+    ))
+del _cmp, _xop
+# The generic forms embed arbitrary constituent tuples, so their origin
+# is open-ended (any NONTRAP_OPS combination) — left empty here; the
+# decompile-equivalence checker validates the embedded tuples instead.
+register_opspec(OP_FUSED2, OpSpec("fused2", "fused2", weight=2))
+register_opspec(OP_FUSED_GOTO, OpSpec("fused_goto", "fused2-goto", weight=2))
+
 
 # ----------------------------------------------------------------------
 # Specialized arithmetic superinstructions.  The generic ``_op_fused2``
@@ -226,15 +239,18 @@ for _op_a in sorted(_WRAP_EXPR):
     _ea = _WRAP_EXPR[_op_a].format(x=4, y=5)
     for _op_b in sorted(_WRAP_EXPR):
         _eb = _WRAP_EXPR[_op_b].format(x=7, y=8)
-        _PAIR_XOPS[(_op_a, _op_b)] = _gen_xop(
+        _PAIR_XOPS[(_op_a, _op_b)] = register_opspec(_gen_xop(
             f"_op_{OPCODE_NAMES[_op_a]}_{OPCODE_NAMES[_op_b]}",
             f"    v = ({_ea}) & _MASK\n"
             f"    regs[ins[3]] = v - _TWO64 if v & _SIGN else v\n"
             f"    v = ({_eb}) & _MASK\n"
             f"    regs[ins[6]] = v - _TWO64 if v & _SIGN else v\n"
             f"    return pc + 2\n",
-        )
-    _GOTO_XOPS[_op_a] = _gen_xop(
+        ), OpSpec(
+            f"{OPCODE_NAMES[_op_a]}_{OPCODE_NAMES[_op_b]}", "fused-pair",
+            weight=2, origin=(_op_a, _op_b),
+        ))
+    _GOTO_XOPS[_op_a] = register_opspec(_gen_xop(
         f"_op_{OPCODE_NAMES[_op_a]}_goto",
         f"    v = ({_ea}) & _MASK\n"
         f"    regs[ins[3]] = v - _TWO64 if v & _SIGN else v\n"
@@ -243,7 +259,10 @@ for _op_a in sorted(_WRAP_EXPR):
         f"        for d, s in edge[1]:\n"
         f"            regs[d] = regs[s]\n"
         f"    return edge[0]\n",
-    )
+    ), OpSpec(
+        f"{OPCODE_NAMES[_op_a]}_goto", "fused-goto",
+        weight=2, origin=(_op_a, OP_GOTO),
+    ))
 del _op_a, _op_b, _ea, _eb
 
 #: (op_a, op_b, op_c) -> fully inlined triple superinstruction opcode.
@@ -282,7 +301,10 @@ def _gen_triples() -> None:
     ns = {"_MASK": _MASK, "_SIGN": _SIGN, "_TWO64": _TWO64}
     exec(compile("\n".join(chunks), "<fusion:triples>", "exec"), ns)
     for key, name in names:
-        _TRIPLE_XOPS[key] = register_xop(ns[name])
+        _TRIPLE_XOPS[key] = register_opspec(
+            register_xop(ns[name]),
+            OpSpec(name[4:], "fused-triple", weight=3, origin=key),
+        )
 
 
 _gen_triples()

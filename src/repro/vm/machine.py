@@ -340,6 +340,12 @@ def bind_fast_ops(spec_base: int, if_lt: int, if_gt: int, if_ge: int) -> None:
     _X_OPS = (spec_base, if_lt, if_gt, if_ge)
 
 
+def fast_op_bindings() -> tuple:
+    """The current ``(spec_base, if_lt, if_gt, if_ge)`` inline-dispatch
+    bindings — read-only view for the verifier and tests."""
+    return _X_OPS
+
+
 class VirtualMachine:
     """Drop-in execution engine with the reference interpreter's API.
 

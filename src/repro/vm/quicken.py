@@ -51,6 +51,7 @@ from .bytecode import (
     BytecodeFunction,
 )
 from .machine import _HANDLERS, _MASK, _SIGN, _TWO64, _is_ref, register_xop
+from .opspec import OpSpec, register_opspec
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +245,26 @@ _GUARD_OPS = {
 }
 
 _CANDIDATES = frozenset(_RC_OPS) | frozenset(_SWAP_RC) | frozenset(_GUARD_OPS)
+
+# Instruction specs for the verifier.  A const form's origin lists
+# every generic opcode that may quicken into it (right-const plus the
+# mirrored/commutative left-const mappings); a guarded form always has
+# exactly one generic origin.
+for _xop, _name in (
+    (OP_ADD_Q, "add_q"), (OP_SUB_Q, "sub_q"), (OP_MUL_Q, "mul_q"),
+    (OP_EQ_II, "eq_ii"), (OP_NE_II, "ne_ii"),
+):
+    _origin = tuple(g for g, x in sorted(_GUARD_OPS.items()) if x == _xop)
+    register_opspec(_xop, OpSpec(_name, "quick-guard", origin=_origin))
+for _g, _xop in sorted(_RC_OPS.items()):
+    _origin = tuple(sorted(
+        {g for g, x in _RC_OPS.items() if x == _xop}
+        | {g for g, x in _SWAP_RC.items() if x == _xop}
+    ))
+    register_opspec(_xop, OpSpec(
+        OPCODE_NAMES[_g] + "_rc", "quick-const", origin=_origin,
+    ))
+del _g, _xop, _name, _origin
 
 
 def quicken_function(fn: BytecodeFunction) -> dict[str, int]:

@@ -312,6 +312,7 @@ def translate_program(
     terminator_cost: Callable = cycles_of,
     fuse: bool = True,
     vmprofile=None,
+    check_bc: str = "off",
 ) -> BytecodeProgram:
     """Translate a whole program into executable bytecode.
 
@@ -324,6 +325,15 @@ def translate_program(
     ``vmprofile`` when given and from static block frequencies
     otherwise — cached artifacts therefore carry superinstructions.
     ``fuse=False`` yields the plain flat-tuple stream only.
+
+    ``check_bc="rewrite"`` runs the static bytecode verifier
+    (:mod:`repro.analysis.bcverify`) on the freshly built streams —
+    including a quickened clone of every fused function, so both rewrite
+    passes are covered — and raises
+    :class:`~repro.analysis.bcverify.BytecodeVerificationError` on any
+    violation.  The retranslation-equivalence layer is skipped (it
+    would compare the result with itself); ``"load"`` and ``"off"``
+    are no-ops here, load-time checking lives in the artifact cache.
     """
     functions = {
         name: BytecodeFunction(name, len(graph.parameters))
@@ -339,4 +349,15 @@ def translate_program(
         from .fusion import fuse_program
 
         fuse_program(program, bytecode, vmprofile=vmprofile)
+    if check_bc == "rewrite":
+        from ..analysis.bcverify import (
+            BytecodeVerificationError,
+            verify_bytecode,
+        )
+
+        report = verify_bytecode(
+            bytecode, retranslate=False, lint=True, quicken=fuse
+        )
+        if not report.ok:
+            raise BytecodeVerificationError(report)
     return bytecode

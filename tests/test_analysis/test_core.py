@@ -35,6 +35,12 @@ def test_registry_holds_all_expected_checkers():
         "lir-structure",
         "lir-liveness",
         "lir-allocation",
+        "bc-structure",
+        "bc-defuse",
+        "bc-accounting",
+        "bc-xcode-equivalence",
+        "bc-codegen-lint",
+        "bc-retranslate",
     ]
 
 
@@ -44,6 +50,14 @@ def test_scope_filtering():
         "lir-structure",
         "lir-liveness",
         "lir-allocation",
+    ]
+    assert [c.name for c in all_checkers("bc")] == [
+        "bc-structure",
+        "bc-defuse",
+        "bc-accounting",
+        "bc-xcode-equivalence",
+        "bc-codegen-lint",
+        "bc-retranslate",
     ]
 
 
