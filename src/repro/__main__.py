@@ -22,7 +22,9 @@ JSONL event trace) and ``--profile-compile`` (print the per-phase
 profile); see docs/OBSERVABILITY.md.  ``run`` and ``compile`` accept
 ``--check-ir={off,boundaries,each-phase}`` plus
 ``--fail-fast``/``--keep-going``.  ``run``, ``bench`` and ``check``
-accept ``--engine={reference,vm,closure}`` to pick the executor;
+accept ``--engine={reference,vm,closure,tiered}`` to pick the
+executor (``tiered`` starts cold and promotes hot functions at the
+``--tier-threshold`` hotness; docs/TIERING.md);
 ``bench --engine-report FILE`` writes the engine comparison matrix and
 ``check --diff-engines``/``--fuzz-engines N`` differentially validate
 every engine against the reference
@@ -63,9 +65,16 @@ from .obs import (
 )
 from .pipeline.batch import BatchOptions, compile_batch
 from .pipeline.cache import ArtifactCache, cache_key, make_entry
+from .obs.tracer import use_tracer
 from .pipeline.compiler import Compiler, ENGINES, measure_performance
 from .pipeline.config import CONFIGURATIONS
-from .vm import VMProfile, profile_run, translate_program
+from .vm import (
+    DEFAULT_TIER_THRESHOLD,
+    TieringPolicy,
+    VMProfile,
+    profile_run,
+    translate_program,
+)
 
 #: default on-disk cache location of the ``batch`` verb
 DEFAULT_CACHE_DIR = pathlib.Path(".repro-cache")
@@ -95,6 +104,15 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         default="reference",
         choices=ENGINES,
         help="execution engine for program runs (see docs/VM.md)",
+    )
+    parser.add_argument(
+        "--tier-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hotness (calls + back edges) at which --engine=tiered "
+        f"promotes a function (default: {DEFAULT_TIER_THRESHOLD}; "
+        "see docs/TIERING.md)",
     )
 
 
@@ -214,6 +232,20 @@ def _make_tracer(args: argparse.Namespace) -> Tracer | None:
     if args.trace_out is not None or args.profile_compile:
         return Tracer()
     return None
+
+
+def _make_tiering(args: argparse.Namespace) -> TieringPolicy | None:
+    """The :class:`TieringPolicy` encoded by the CLI flags, or None for
+    defaults.  ``--check-bc=rewrite`` makes the tiering controller
+    verify every promoted stream before it can reach dispatch."""
+    threshold = getattr(args, "tier_threshold", None)
+    check_bc = getattr(args, "check_bc", "off")
+    if threshold is None and check_bc != "rewrite":
+        return None
+    return TieringPolicy(
+        threshold=threshold if threshold is not None else DEFAULT_TIER_THRESHOLD,
+        check_bc="rewrite" if check_bc == "rewrite" else "off",
+    )
 
 
 def _emit_observability(args: argparse.Namespace, tracer: Tracer | None) -> None:
@@ -363,11 +395,23 @@ def cmd_run(args: argparse.Namespace) -> int:
                 program, entry=args.entry, arg_sets=[tuple(args.args)],
                 bytecode=bytecode,
             )
+        elif tracer is not None:
+            # Run under the recording tracer so runtime events — the
+            # tiered engine's tier.promote/tier.compile, plan-cache
+            # hits — land in --trace-out next to the compile events.
+            with use_tracer(tracer):
+                cycles, results = measure_performance(
+                    program, args.entry, [args.args],
+                    engine=args.engine, bytecode=bytecode,
+                    check_bc=args.check_bc, tiering=_make_tiering(args),
+                    plan_cache=cache,
+                )
         else:
             cycles, results = measure_performance(
                 program, args.entry, [args.args],
                 engine=args.engine, bytecode=bytecode,
-                check_bc=args.check_bc,
+                check_bc=args.check_bc, tiering=_make_tiering(args),
+                plan_cache=cache,
             )
     except BytecodeVerificationError as exc:
         print(exc.report.format(), file=sys.stderr)

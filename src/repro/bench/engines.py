@@ -10,7 +10,12 @@ reference and on every VM engine under identical metering:
 * ``vm-nofuse`` — the flat-tuple machine loops (the PR-5 VM), the
   ablation row that isolates what fusion+quickening buy;
 * ``vm`` — the fused/quickened fast stream (the default VM);
-* ``closure`` — the closure-compiling engine.
+* ``closure`` — the closure-compiling engine;
+* ``tiered`` — the adaptive machine (docs/TIERING.md): starts every
+  function in the unfused baseline tier and promotes at the hotness
+  threshold.  Promotions persist across ``reset()``, so the warmup
+  pass tiers up the hot functions and the timed passes measure the
+  promoted steady state.
 
 The report carries per-workload wall times, per-engine speedup ratios,
 a per-engine median, and an outcome-equality bit (value, trap,
@@ -41,7 +46,7 @@ from ..vm import translate_program
 from .workloads.suites import MICRO, SuiteProfile, Workload, generate_suite
 
 #: the VM engines measured against the reference interpreter
-MATRIX_ENGINES = ("vm-nofuse", "vm", "closure")
+MATRIX_ENGINES = ("vm-nofuse", "vm", "closure", "tiered")
 
 #: timed passes over the measured argument sets per engine row
 _TIMED_PASSES = 3

@@ -188,12 +188,18 @@ def check_regression(
         if old_cycles <= 0:
             continue
         if new_cycles > old_cycles * (1.0 + threshold):
+            fingerprint = new.get("fingerprint") or old.get("fingerprint")
+            fp_note = (
+                f", config fingerprint {fingerprint}"
+                if fingerprint is not None
+                else ", config fingerprint unknown"
+            )
             failures.append(
                 f"{entry.get('suite')}/{name}: median cycles regressed "
                 f"{old_cycles:g} -> {new_cycles:g} "
                 f"(+{(new_cycles / old_cycles - 1.0) * 100.0:.1f}%, "
                 f"threshold {threshold * 100.0:.1f}%, "
-                f"committed {baseline.get('recorded_at')})"
+                f"committed {baseline.get('recorded_at')}{fp_note})"
             )
     return failures
 

@@ -270,7 +270,11 @@ class _FunctionBuilder:
         then_exit.set_terminator(Goto(merge))
         else_exit.set_terminator(Goto(merge))
         merged_env: dict[str, tuple[Type, Value]] = {}
-        for name in outer_vars:
+        # Iterate the env dict, not outer_vars: a set of names iterates
+        # in hash order, which would make phi creation order (and with
+        # it value numbering, register layout and bytecode digests)
+        # vary from process to process under hash randomization.
+        for name in outer_env:
             declared = outer_env[name][0]
             tval = then_env[name][1]
             eval_ = else_env[name][1]

@@ -50,6 +50,19 @@ CACHE_EVICT_REQUIRED_ATTRS = ("key", "reason")
 #: attrs every ``batch.worker`` event must carry
 BATCH_WORKER_REQUIRED_ATTRS = ("path", "key", "ok")
 
+#: attrs every ``tier.promote`` event must carry
+TIER_PROMOTE_REQUIRED_ATTRS = (
+    "function",
+    "trigger",
+    "calls",
+    "backedges",
+    "hotness",
+    "threshold",
+)
+
+#: attrs every ``tier.compile`` event must carry
+TIER_COMPILE_REQUIRED_ATTRS = ("function", "seconds", "fused_sites", "cached")
+
 #: the counter-table trailer record's name
 COUNTERS_RECORD = "counters"
 
@@ -188,6 +201,14 @@ def validate_record(record: dict[str, Any]) -> list[str]:
         for key in BATCH_WORKER_REQUIRED_ATTRS:
             if key not in attrs:
                 problems.append(f"batch.worker missing attr {key!r}")
+    elif name == "tier.promote":
+        for key in TIER_PROMOTE_REQUIRED_ATTRS:
+            if key not in attrs:
+                problems.append(f"tier.promote missing attr {key!r}")
+    elif name == "tier.compile":
+        for key in TIER_COMPILE_REQUIRED_ATTRS:
+            if key not in attrs:
+                problems.append(f"tier.compile missing attr {key!r}")
     elif name == "phase" and kind == KIND_SPAN and "phase" not in attrs:
         problems.append("phase span missing attr 'phase'")
     return problems

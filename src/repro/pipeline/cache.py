@@ -450,6 +450,77 @@ class ArtifactCache:
         return path
 
     # ------------------------------------------------------------------
+    # Aux blobs: small digest-verified side artifacts keyed separately
+    # from compilation entries — the tiered engine stores its
+    # profile-fingerprint-keyed tier-up plans here (docs/TIERING.md).
+    # Same durability story as entries: atomic replace on write, a
+    # whole-payload digest on read, corrupted files evicted.
+    # ------------------------------------------------------------------
+    def aux_path_for(self, key: str) -> Path:
+        return self.root / "aux" / key[:2] / f"{key}.aux"
+
+    def get_aux(self, key: str, tracer: Optional[Tracer] = None) -> Optional[Any]:
+        """The aux payload for ``key``, or None (miss or corrupted)."""
+        tracer = tracer if tracer is not None else current_tracer()
+        registry = current_registry()
+        path = self.aux_path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            tracer.count("cache.miss")
+            tracer.event("cache.miss", key=key, kind="aux")
+            registry.inc("repro_cache_lookups_total", result="miss")
+            return None
+        payload: Optional[Any] = None
+        try:
+            digest, body = raw.split(b"\n", 1)
+            if hashlib.sha256(body).hexdigest().encode("ascii") == digest:
+                payload = pickle.loads(body)
+        except Exception:
+            payload = None
+        if payload is None:
+            self._evict(key, path, "corrupted aux blob", tracer)
+            self.stats.misses += 1
+            tracer.count("cache.miss")
+            tracer.event("cache.miss", key=key, kind="aux")
+            registry.inc("repro_cache_lookups_total", result="miss")
+            return None
+        self.stats.hits += 1
+        tracer.count("cache.hit")
+        tracer.event("cache.hit", key=key, path=str(path), kind="aux")
+        registry.inc("repro_cache_lookups_total", result="hit")
+        return payload
+
+    def put_aux(
+        self, key: str, payload: Any, tracer: Optional[Tracer] = None
+    ) -> Path:
+        """Atomically persist an aux ``payload``; returns its path."""
+        tracer = tracer if tracer is not None else current_tracer()
+        path = self.aux_path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        body = pickle.dumps(payload, protocol=PICKLE_PROTOCOL)
+        digest = hashlib.sha256(body).hexdigest()
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:8]}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(digest.encode("ascii") + b"\n" + body)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        tracer.count("cache.store")
+        tracer.event("cache.store", key=key, path=str(path), kind="aux")
+        current_registry().inc("repro_cache_stores_total")
+        return path
+
+    # ------------------------------------------------------------------
     def _decode(self, key: str, raw: bytes) -> Optional[CacheEntry]:
         """Parse + verify one entry file; None means corrupted."""
         try:

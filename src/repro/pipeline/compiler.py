@@ -291,9 +291,9 @@ def compile_and_profile(
 
 
 #: Execution engines usable for measurement runs.
-ENGINES = ("reference", "vm", "closure")
+ENGINES = ("reference", "vm", "closure", "tiered")
 
-#: engines accepted by :func:`make_engine` — the public three plus
+#: engines accepted by :func:`make_engine` — the public four plus
 #: ``vm-nofuse``, the flat-tuple machine loops with the fused/quickened
 #: fast stream pinned off (the bench engine matrix's ablation row)
 ALL_ENGINES = ENGINES + ("vm-nofuse",)
@@ -306,15 +306,24 @@ def make_engine(
     max_steps: int = 50_000_000,
     metered: bool = True,
     check_bc: str = "off",
+    tiering: Any = None,
+    plan_cache: Any = None,
 ) -> Any:
     """Construct a runner for ``engine`` (uniform run/reset/state API).
 
     ``reference`` is the tree-walking interpreter; ``vm`` the bytecode
     machine with superinstruction fusion and quickening; ``vm-nofuse``
     the same machine pinned to its flat-tuple loops; ``closure`` the
-    closure-compiling engine.  VM engines accept a pre-translated
-    ``bytecode`` program to skip re-translation (e.g. a cache hit).
-    All four report identical cycles/steps/outcomes by construction.
+    closure-compiling engine; ``tiered`` the adaptive machine that
+    starts every function in the unfused baseline and promotes hot
+    ones at run time (see docs/TIERING.md — ``tiering`` passes a
+    :class:`~repro.vm.tiering.TieringPolicy`, ``plan_cache`` an
+    :class:`~repro.pipeline.cache.ArtifactCache` whose aux store keeps
+    profile-fingerprint-keyed tier-up plans).  VM engines accept a
+    pre-translated ``bytecode`` program to skip re-translation (e.g. a
+    cache hit) — except ``tiered``, which always translates its own
+    unfused baseline so every function starts cold.  All engines
+    report identical cycles/steps/outcomes by construction.
     ``check_bc="rewrite"`` verifies any bytecode translated here (see
     :func:`repro.vm.translate.translate_program`); pre-translated
     bytecode is the cache's responsibility (``--check-bc=load``).
@@ -325,6 +334,34 @@ def make_engine(
             max_steps=max_steps,
             cycle_cost=cycles_of if metered else None,
             terminator_cost=cycles_of if metered else None,
+        )
+    if engine == "tiered":
+        from ..vm import TieredVirtualMachine, translate_program
+
+        # A fused cache artifact would start every function already
+        # promoted; the tiered engine instead translates its own
+        # baseline stream (cheap next to the compile it follows) and
+        # verifies it under the same --check-bc contract.
+        baseline = translate_program(program, fuse=False, check_bc=check_bc)
+        if tiering is not None and tiering.check_bc == "off" and check_bc == "rewrite":
+            from ..vm.tiering import TieringPolicy
+
+            tiering = TieringPolicy(
+                threshold=tiering.threshold,
+                top_pairs=tiering.top_pairs,
+                check_bc="rewrite",
+            )
+        elif tiering is None and check_bc == "rewrite":
+            from ..vm.tiering import TieringPolicy
+
+            tiering = TieringPolicy(check_bc="rewrite")
+        return TieredVirtualMachine(
+            program,
+            baseline,
+            max_steps=max_steps,
+            metered=metered,
+            policy=tiering,
+            plan_cache=plan_cache,
         )
     if engine not in ("vm", "vm-nofuse", "closure"):
         raise ValueError(
@@ -354,18 +391,23 @@ def measure_performance(
     engine: str = "reference",
     bytecode: Any = None,
     check_bc: str = "off",
+    tiering: Any = None,
+    plan_cache: Any = None,
 ) -> tuple[float, list[ExecutionResult]]:
     """Simulated peak performance: total cost-model cycles over runs.
 
     ``engine`` selects the executor (see :func:`make_engine`): the
-    ``reference`` tree-walking interpreter, the ``vm`` bytecode engine
-    or the ``closure`` compiling engine — pass a pre-translated
-    ``bytecode`` program to skip re-translation, e.g. from a cache hit.
-    All engines report identical cycles/steps/outcomes by construction.
+    ``reference`` tree-walking interpreter, the ``vm`` bytecode engine,
+    the ``closure`` compiling engine or the adaptive ``tiered`` machine
+    — pass a pre-translated ``bytecode`` program to skip
+    re-translation, e.g. from a cache hit (``tiered`` ignores it and
+    starts from its own cold baseline; ``tiering``/``plan_cache``
+    configure it).  All engines report identical cycles/steps/outcomes
+    by construction.
     """
     runner = make_engine(
         engine, program, bytecode=bytecode, max_steps=max_steps,
-        check_bc=check_bc,
+        check_bc=check_bc, tiering=tiering, plan_cache=plan_cache,
     )
     results = []
     total = 0.0

@@ -21,6 +21,11 @@ Three raw-speed layers sit on top of the flat-tuple machine:
   block to an ``exec``-generated Python closure chain and skips
   bytecode dispatch entirely.
 
+:mod:`repro.vm.tiering` composes the layers adaptively: the tiered
+engine starts every function in the unfused baseline translation with
+hotness counters and promotes hot functions to the fused/quickened
+fast stream at run time (``--engine=tiered``; see docs/TIERING.md).
+
 Semantics are bit-for-bit those of the reference interpreter: shared
 heap/trap/outcome types, identical trap messages, identical step
 accounting and budget behaviour, identical :class:`ProfileCollector`
@@ -43,14 +48,24 @@ from .quicken import quicken_function
 from .closure import ClosureVirtualMachine, compile_function, function_source
 from .profiler import ProfilingVirtualMachine, VMProfile, profile_run
 from .translate import translate_graph, translate_program
+from .tiering import (
+    DEFAULT_TIER_THRESHOLD,
+    TieredVirtualMachine,
+    TieringController,
+    TieringPolicy,
+)
 
 __all__ = [
+    "DEFAULT_TIER_THRESHOLD",
     "BytecodeFunction",
     "BytecodeProgram",
     "ClosureVirtualMachine",
     "OPCODE_SPECS",
     "OpSpec",
     "ProfilingVirtualMachine",
+    "TieredVirtualMachine",
+    "TieringController",
+    "TieringPolicy",
     "VMProfile",
     "VirtualMachine",
     "compile_function",

@@ -136,6 +136,23 @@ def test_regression_beyond_threshold_fails():
     assert "+10.0%" in failures[0]
 
 
+def test_regression_message_names_the_config_fingerprint():
+    # The suite name alone is ambiguous once several configs share a
+    # suite: the failure must name the offending config's fingerprint
+    # so the regression can be traced to its exact constants.
+    history = trajectory_with(make_entry(cycles=1000.0, fingerprint="f0"))
+    failures = check_regression(history, make_entry(cycles=1100.0, fingerprint="f0"), 0.05)
+    assert len(failures) == 1
+    assert "config fingerprint f0" in failures[0]
+
+
+def test_regression_message_flags_missing_fingerprint():
+    history = trajectory_with(make_entry(cycles=1000.0, fingerprint=None))
+    failures = check_regression(history, make_entry(cycles=1100.0, fingerprint=None), 0.05)
+    assert len(failures) == 1
+    assert "config fingerprint unknown" in failures[0]
+
+
 def test_improvement_always_passes():
     history = trajectory_with(make_entry(cycles=1000.0))
     assert check_regression(history, make_entry(cycles=600.0), 0.05) == []
