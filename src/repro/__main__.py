@@ -22,9 +22,12 @@ JSONL event trace) and ``--profile-compile`` (print the per-phase
 profile); see docs/OBSERVABILITY.md.  ``run`` and ``compile`` accept
 ``--check-ir={off,boundaries,each-phase}`` plus
 ``--fail-fast``/``--keep-going``.  ``run``, ``bench`` and ``check``
-accept ``--engine={reference,vm,closure,tiered}`` to pick the
-executor (``tiered`` starts cold and promotes hot functions at the
-``--tier-threshold`` hotness; docs/TIERING.md);
+accept ``--engine={reference,vm,closure,megaunit,tiered}`` to pick the
+executor (``megaunit`` compiles the whole program into one exec unit
+with direct calls, docs/VM.md; ``tiered`` starts cold and promotes hot
+functions at the ``--tier-threshold`` hotness, and with
+``--tier2-engine=megaunit`` re-promotes the hottest into the
+whole-program unit at ``--tier2-threshold``; docs/TIERING.md);
 ``bench --engine-report FILE`` writes the engine comparison matrix and
 ``check --diff-engines``/``--fuzz-engines N`` differentially validate
 every engine against the reference
@@ -69,6 +72,7 @@ from .obs.tracer import use_tracer
 from .pipeline.compiler import Compiler, ENGINES, measure_performance
 from .pipeline.config import CONFIGURATIONS
 from .vm import (
+    DEFAULT_TIER2_THRESHOLD,
     DEFAULT_TIER_THRESHOLD,
     TieringPolicy,
     VMProfile,
@@ -113,6 +117,22 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         help="hotness (calls + back edges) at which --engine=tiered "
         f"promotes a function (default: {DEFAULT_TIER_THRESHOLD}; "
         "see docs/TIERING.md)",
+    )
+    parser.add_argument(
+        "--tier2-engine",
+        default=None,
+        choices=("off", "megaunit"),
+        help="tier-2 backend for --engine=tiered: 'megaunit' re-promotes "
+        "functions that stay hot in tier 1 into the whole-program exec "
+        "unit (default: off; see docs/TIERING.md)",
+    )
+    parser.add_argument(
+        "--tier2-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tier-1 calls at which a promoted function re-promotes to "
+        f"the tier-2 engine (default: {DEFAULT_TIER2_THRESHOLD})",
     )
 
 
@@ -240,11 +260,24 @@ def _make_tiering(args: argparse.Namespace) -> TieringPolicy | None:
     verify every promoted stream before it can reach dispatch."""
     threshold = getattr(args, "tier_threshold", None)
     check_bc = getattr(args, "check_bc", "off")
-    if threshold is None and check_bc != "rewrite":
+    tier2_engine = getattr(args, "tier2_engine", None)
+    tier2_threshold = getattr(args, "tier2_threshold", None)
+    if (
+        threshold is None
+        and check_bc != "rewrite"
+        and tier2_engine is None
+        and tier2_threshold is None
+    ):
         return None
     return TieringPolicy(
         threshold=threshold if threshold is not None else DEFAULT_TIER_THRESHOLD,
         check_bc="rewrite" if check_bc == "rewrite" else "off",
+        tier2_engine=tier2_engine if tier2_engine is not None else "off",
+        tier2_threshold=(
+            tier2_threshold
+            if tier2_threshold is not None
+            else DEFAULT_TIER2_THRESHOLD
+        ),
     )
 
 
@@ -1243,7 +1276,7 @@ def main(argv: list[str] | None = None) -> int:
         nargs="*",
         choices=sorted(ALL_SUITES),
         default=None,
-        help="suites to run (default: all four)",
+        help="suites to run (default: the four paper suites)",
     )
     evaluate_parser.add_argument(
         "--out", type=pathlib.Path, default=pathlib.Path("evaluation_report.md")

@@ -18,8 +18,10 @@ with purely static means.  Four layers:
   field-by-field to the plain code stream; optionally the whole
   function matches a deterministic fresh translation of the program.
 * **Codegen lint** (:mod:`.lint`) — the closure engine's exec-generated
-  source is checked for banned names, leaked globals and balanced
-  accounting without being executed.
+  source and the megaunit engine's whole-program module are checked
+  for banned names, leaked globals, balanced accounting and (for the
+  megaunit module) direct-call targets against the program's function
+  table, without being executed.
 
 Entry points: :func:`verify_bytecode` (full verification of a
 :class:`~repro.vm.bytecode.BytecodeProgram`, optionally also of a
@@ -58,7 +60,7 @@ from .dataflow import (
     solve_backward,
     solve_forward,
 )
-from .lint import BANNED_NAMES, lint_closure_source
+from .lint import BANNED_NAMES, lint_closure_source, lint_megaunit_source
 
 #: ``--check-bc`` modes: "load" verifies cache-loaded artifacts only,
 #: "rewrite" additionally verifies freshly built fused streams (and a
@@ -228,6 +230,25 @@ def verify_bytecode(
             if fail_fast and not qreport.ok:
                 break
 
+    # Whole-program codegen lint: the megaunit module is one exec unit
+    # over the entire function table, so its lint is program-level
+    # (skipped when per-function verification already failed — linting
+    # source generated from a known-bad table proves nothing).
+    if (
+        "bc-codegen-lint" not in disable
+        and (checkers is None or "bc-codegen-lint" in checkers)
+        and result.ok
+    ):
+        for message in lint_megaunit_source(bytecode):
+            result.violations.append(
+                Violation(
+                    checker="bc-codegen-lint",
+                    severity=Severity.ERROR,
+                    graph="<megaunit>",
+                    message=message,
+                )
+            )
+
     registry = current_registry()
     if registry.enabled:
         registry.inc(
@@ -273,6 +294,7 @@ __all__ = [
     "corruption_campaign",
     "instruction_events",
     "lint_closure_source",
+    "lint_megaunit_source",
     "run_bc_checkers",
     "solve",
     "solve_backward",

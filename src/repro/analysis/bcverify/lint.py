@@ -1,9 +1,11 @@
-"""Static lint over the closure engine's exec-generated source.
+"""Static lint over the exec-generated engine source.
 
 The closure engine (:mod:`repro.vm.closure`) compiles each function to
-Python source and ``exec``\\s it.  That source is generated from data
-that may have travelled through a cache file, so the verifier lints the
-*text* (without executing it) for the properties the codegen promises:
+Python source and ``exec``\\s it; the megaunit engine
+(:mod:`repro.vm.megaunit`) does the same for the whole program at
+once.  That source is generated from data that may have travelled
+through a cache file, so the verifier lints the *text* (without
+executing it) for the properties the codegen promises:
 
 * it parses, and consists only of module-level function definitions
   (the ``_blk_<pc>`` block closures plus the ``_drive`` trampoline);
@@ -19,8 +21,19 @@ that may have travelled through a cache file, so the verifier lints the
   preceded (in the same statement suite) by a ``state.steps = ...``
   meter flush, so traps can never escape with stale accounting.
 
-:func:`lint_closure_source` returns plain message strings; the
-``bc-codegen-lint`` checker turns them into report violations.
+:func:`lint_megaunit_source` adds the whole-program variants: per
+generated function, the step/cycle charges — which live in the meter
+locals ``s``/``c`` there: ``s += W`` / ``c += C`` per segment plus
+the ``m[0] = s + 1`` / ``c = m[1] + K`` call-site writebacks — must
+sum to the bytecode function's instruction count and total baked
+cost, and every *direct call* is audited against the program's
+function table (the ``_mu<N>`` index must exist and the argument
+count must match the callee's arity plus the ``vm``/``m``/``d``
+protocol slots).
+
+:func:`lint_closure_source` and :func:`lint_megaunit_source` return
+plain message strings; the ``bc-codegen-lint`` checker turns them into
+report violations.
 """
 
 from __future__ import annotations
@@ -30,6 +43,12 @@ import math
 import re
 
 from ...vm.closure import CLOSURE_BUILTINS, CLOSURE_NAMESPACE, generate_source
+from ...vm.megaunit import (
+    MEGAUNIT_BUILTINS,
+    MEGAUNIT_NAMESPACE,
+    MegaunitUnsupported,
+    generate_module_source,
+)
 
 #: names generated code must never mention, in any position
 BANNED_NAMES = frozenset(
@@ -42,6 +61,10 @@ BANNED_NAMES = frozenset(
 
 _GENERATED_NAME = re.compile(r"\A(_blk_\d+|_f\d+)\Z")
 _BLOCK_DEF = re.compile(r"\A_blk_(\d+)\Z")
+
+#: megaunit generated cells: entry functions, function refs, templates
+_MEGA_NAME = re.compile(r"\A(_mu\d+|_fn\d+|_tmpl\d+)\Z")
+_MEGA_DEF = re.compile(r"\A_mu(\d+)\Z")
 
 
 def _literal(node) -> object:
@@ -229,4 +252,210 @@ def lint_closure_source(fn, metered: bool = True) -> list[str]:
     return messages
 
 
-__all__ = ["BANNED_NAMES", "lint_closure_source"]
+# ----------------------------------------------------------------------
+# Whole-program (megaunit) lint
+# ----------------------------------------------------------------------
+def _lint_mega_names(func: ast.FunctionDef, messages: list) -> None:
+    params = {arg.arg for arg in func.args.args}
+    assigned = {
+        node.id
+        for node in ast.walk(func)
+        if isinstance(node, ast.Name)
+        and isinstance(node.ctx, (ast.Store, ast.Del))
+    }
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Name):
+            continue
+        name = node.id
+        if name in BANNED_NAMES:
+            messages.append(
+                f"{func.name}: banned name {name!r} in generated source"
+            )
+        elif isinstance(node.ctx, ast.Load) and not (
+            name in params
+            or name in assigned
+            or name in MEGAUNIT_NAMESPACE
+            or name in MEGAUNIT_BUILTINS
+            or _MEGA_NAME.match(name)
+        ):
+            messages.append(
+                f"{func.name}: generated source reads unexpected "
+                f"global {name!r}"
+            )
+
+
+def _lint_mega_calls(
+    func: ast.FunctionDef, order: list, messages: list
+) -> None:
+    """Audit every call in a generated function.
+
+    Direct calls must target a ``_mu<N>`` that exists in the program's
+    function table with the right argument count (``vm``/``m``
+    prefix + the callee's parameters + the depth slot); anything else
+    must be one of the whitelisted support callables."""
+    allowed = MEGAUNIT_NAMESPACE | MEGAUNIT_BUILTINS
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        if not isinstance(target, ast.Name):
+            messages.append(
+                f"{func.name}: non-name call target "
+                f"(line {node.lineno})"
+            )
+            continue
+        match = _MEGA_DEF.match(target.id)
+        if match:
+            index = int(match.group(1))
+            if index >= len(order):
+                messages.append(
+                    f"{func.name}: direct call to _mu{index} but the "
+                    f"program has {len(order)} function(s)"
+                )
+            elif len(node.args) != order[index].nparams + 3:
+                messages.append(
+                    f"{func.name}: direct call to _mu{index} "
+                    f"({order[index].name!r}) passes "
+                    f"{len(node.args) - 3} arg(s) for "
+                    f"{order[index].nparams} parameter(s)"
+                )
+        elif target.id not in allowed:
+            messages.append(
+                f"{func.name}: call to unexpected name {target.id!r}"
+            )
+
+
+def _mega_meter_totals(func: ast.FunctionDef) -> tuple:
+    """Step and cycle charges of one generated megaunit function.
+
+    The megaunit compiler keeps the meters in the locals ``s``/``c``:
+    a segment charges ``s += W`` / ``c += C``, and a call site charges
+    its step as the ``m[0] = s + 1`` writeback and its call cost on
+    the ``c = m[1] + K`` reload.  Returns ``(steps, cycles)`` lists
+    with ``None`` standing in for any non-literal charge."""
+    steps: list = []
+    cycles: list = []
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.AugAssign)
+            and isinstance(node.op, ast.Add)
+            and isinstance(node.target, ast.Name)
+        ):
+            if node.target.id == "s":
+                steps.append(_literal(node.value))
+            elif node.target.id == "c":
+                cycles.append(_literal(node.value))
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+            if not (
+                isinstance(value, ast.BinOp)
+                and isinstance(value.op, ast.Add)
+            ):
+                continue
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "m"
+                and isinstance(target.slice, ast.Constant)
+                and target.slice.value == 0
+                and isinstance(value.left, ast.Name)
+                and value.left.id == "s"
+            ):
+                steps.append(_literal(value.right))
+            elif (
+                isinstance(target, ast.Name)
+                and target.id == "c"
+                and isinstance(value.left, ast.Subscript)
+                and isinstance(value.left.value, ast.Name)
+                and value.left.value.id == "m"
+            ):
+                cycles.append(_literal(value.right))
+    return steps, cycles
+
+
+def _lint_mega_accounting(
+    func: ast.FunctionDef, fn, metered: bool, messages: list
+) -> None:
+    """Whole-function meter balance: every instruction is stepped once
+    (segment ``s += W`` sums plus one ``m[0] = s + 1`` per call site)
+    and every baked cost is charged once (segment ``c += C`` sums plus
+    the ``c = m[1] + K`` call-cost reloads)."""
+    steps, cycles = _mega_meter_totals(func)
+    if None in steps:
+        messages.append(f"{func.name}: non-literal step increment")
+        return
+    if sum(steps) != len(fn.code):
+        messages.append(
+            f"{func.name}: step increments sum to {sum(steps)} but "
+            f"{fn.name!r} has {len(fn.code)} instruction(s)"
+        )
+    if metered:
+        if None in cycles:
+            messages.append(f"{func.name}: non-literal cycle increment")
+            return
+        expected = 0
+        for ins in fn.code:
+            expected = expected + ins[1]
+        total = sum(cycles)
+        if total != expected and not math.isclose(
+            total, expected, rel_tol=1e-12, abs_tol=1e-12
+        ):
+            messages.append(
+                f"{func.name}: cycle increments sum to {total!r} but "
+                f"{fn.name!r}'s baked costs sum to {expected!r}"
+            )
+
+
+def lint_megaunit_source(bytecode, metered: bool = True) -> list[str]:
+    """Lint the whole-program megaunit module; returns message strings.
+
+    Programs the megaunit compiler does not support (no block spans)
+    lint clean by definition — the engine falls back to the closure
+    engine for them and never execs megaunit text."""
+    messages: list[str] = []
+    try:
+        source = generate_module_source(bytecode, metered=metered)
+    except MegaunitUnsupported:
+        return []
+    except Exception as exc:
+        return [f"megaunit codegen failed: {type(exc).__name__}: {exc}"]
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [f"generated megaunit module does not parse: {exc}"]
+
+    order = list(bytecode.functions.values())
+    seen = set()
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            messages.append(
+                f"unexpected module-level statement in generated "
+                f"megaunit module (line {node.lineno})"
+            )
+            continue
+        match = _MEGA_DEF.match(node.name)
+        if not match:
+            messages.append(
+                f"unexpected generated function {node.name!r}"
+            )
+            continue
+        index = int(match.group(1))
+        if index >= len(order):
+            messages.append(
+                f"generated function _mu{index} has no bytecode function"
+            )
+            continue
+        seen.add(index)
+        _lint_mega_names(node, messages)
+        _lint_mega_calls(node, order, messages)
+        _lint_mega_accounting(node, order[index], metered, messages)
+        _lint_trap_flushes(node, messages)
+    missing = sorted(set(range(len(order))) - seen)
+    if missing:
+        messages.append(
+            f"no megaunit function generated for index(es) {missing}"
+        )
+    return messages
+
+
+__all__ = ["BANNED_NAMES", "lint_closure_source", "lint_megaunit_source"]

@@ -213,8 +213,9 @@ def validate_engines(
     VM engines advertise step/cycle parity.  Every engine is compared
     against the reference, which by transitivity covers every engine
     pair.  ``engines`` defaults to the full matrix — ``reference``,
-    ``vm``, ``vm-nofuse``, ``closure`` and the adaptive ``tiered``
-    machine (which must agree even as it promotes mid-sweep).
+    ``vm``, ``vm-nofuse``, ``closure``, the whole-program ``megaunit``
+    unit and the adaptive ``tiered`` machine (which must agree even as
+    it promotes mid-sweep).
     """
     from ..interp.interpreter import observable_outcome
     from ..pipeline.compiler import ALL_ENGINES, compile_and_profile, make_engine

@@ -11,6 +11,8 @@ reference and on every VM engine under identical metering:
   ablation row that isolates what fusion+quickening buy;
 * ``vm`` — the fused/quickened fast stream (the default VM);
 * ``closure`` — the closure-compiling engine;
+* ``megaunit`` — the whole-program compiler: one exec unit, registers
+  in Python locals, direct calls (docs/VM.md);
 * ``tiered`` — the adaptive machine (docs/TIERING.md): starts every
   function in the unfused baseline tier and promotes at the hotness
   threshold.  Promotions persist across ``reset()``, so the warmup
@@ -46,7 +48,7 @@ from ..vm import translate_program
 from .workloads.suites import MICRO, SuiteProfile, Workload, generate_suite
 
 #: the VM engines measured against the reference interpreter
-MATRIX_ENGINES = ("vm-nofuse", "vm", "closure", "tiered")
+MATRIX_ENGINES = ("vm-nofuse", "vm", "closure", "megaunit", "tiered")
 
 #: timed passes over the measured argument sets per engine row
 _TIMED_PASSES = 3

@@ -14,7 +14,7 @@ from typing import Iterable, Optional
 from ..pipeline.config import CompilerConfig, DBDS, DUPALOT
 from .harness import SuiteReport, run_suite
 from .stats import format_percent, geometric_mean
-from .workloads.suites import ALL_SUITES, SuiteProfile
+from .workloads.suites import ALL_SUITES, PAPER_SUITES, SuiteProfile
 
 
 @dataclass
@@ -50,8 +50,8 @@ def run_evaluation(
     configs: Optional[list[CompilerConfig]] = None,
     seed: int = 0,
 ) -> EvaluationResult:
-    """Measure the requested suites (default: all four)."""
-    names = list(suites) if suites is not None else list(ALL_SUITES)
+    """Measure the requested suites (default: the four paper suites)."""
+    names = list(suites) if suites is not None else list(PAPER_SUITES)
     configs = configs if configs is not None else [DBDS, DUPALOT]
     result = EvaluationResult()
     for name in names:

@@ -265,6 +265,52 @@ fn {name}(x: int) -> int {{
     return Kernel(name, "", fn, f"{name}(i)", "neutral")
 
 
+def recursion_kernel(name: str, rng: random.Random) -> Kernel:
+    """Self-recursive descent — the call-heavy shape that stresses the
+    per-call overhead of every engine.  The megaunit compiler lowers the
+    recursive call to a direct Python call, so this kernel (and the
+    RECURSION suite built on it) is the floor guard against the
+    whole-program compiler regressing call-dominated programs.
+
+    Depth stays small (< 48): the reference interpreter burns several
+    Python frames per MiniLang call, and suites must run on the default
+    recursion limit with headroom to spare.
+    """
+    depth = rng.randint(24, 40)
+    add = rng.randint(1, 9)
+    mul = rng.choice([3, 5, 7])
+    fn = f"""
+fn {name}(n: int, acc: int) -> int {{
+  if (n <= 0) {{ return acc; }}
+  return {name}(n - 1, acc * {mul} % 65521 + n + {add});
+}}
+"""
+    return Kernel(
+        name, "", fn, f"{name}(i % {depth} + 8, i)", "recursion"
+    )
+
+
+def call_tree_kernel(name: str, rng: random.Random) -> Kernel:
+    """Binary call tree — two recursive calls per activation, so the
+    call count grows exponentially in a depth that stays tiny.  Mixes
+    call overhead with a duplicable merge in the combiner, exercising
+    both the direct-call lowering and the usual merge machinery."""
+    depth = rng.randint(5, 7)
+    threshold = rng.randint(2, 12)
+    add = rng.randint(1, 30)
+    fn = f"""
+fn {name}(d: int, x: int) -> int {{
+  if (d <= 0) {{ return x + {add}; }}
+  var l: int = {name}(d - 1, x + 1);
+  var r: int = {name}(d - 1, x + 2);
+  var p: int;
+  if (l > {threshold}) {{ p = l; }} else {{ p = r; }}
+  return p + (l ^ r);
+}}
+"""
+    return Kernel(name, "", fn, f"{name}({depth}, i)", "call-tree")
+
+
 def chain_kernel(name: str, rng: random.Random, class_id: int) -> Kernel:
     """Field-chain reads with merges between them: mixes read
     elimination and conditional elimination opportunities."""
@@ -301,6 +347,8 @@ KERNEL_BUILDERS = {
     "array-box": array_box_kernel,
     "neutral": neutral_kernel,
     "field-chain": chain_kernel,
+    "recursion": recursion_kernel,
+    "call-tree": call_tree_kernel,
 }
 
 #: Builders that need a unique class id as third argument.

@@ -16,6 +16,11 @@ Suite characters (justifying the opportunity mixes — see DESIGN.md):
   kernels, almost every merge is an opportunity; the 5–40 % band.
 * **Octane** — larger JS-flavoured programs, array/numeric loops plus
   dynamic-dispatch-like null-check chains.
+
+A fifth, harness-facing suite rides along: **recursion** is not a paper
+suite but the call-dominated stress mix (self-recursion and binary call
+trees) that guards the whole-program megaunit engine against regressing
+call-heavy programs — see docs/VM.md and the CI bench gates.
 """
 
 from __future__ import annotations
@@ -139,9 +144,31 @@ OCTANE = SuiteProfile(
     profile_iterations=15,
 )
 
+RECURSION = SuiteProfile(
+    suite="recursion",
+    benchmark_names=(
+        "ackers", "calltree", "descent", "fibtree", "unwind",
+    ),
+    kernel_mix=(
+        ("recursion", 3.0),
+        ("call-tree", 2.0),
+        ("neutral", 1.0),
+    ),
+    kernels_min=2,
+    kernels_max=4,
+    run_iterations=80,
+    profile_iterations=20,
+)
+
 ALL_SUITES = {
-    p.suite: p for p in (JAVA_DACAPO, SCALA_DACAPO, MICRO, OCTANE)
+    p.suite: p
+    for p in (JAVA_DACAPO, SCALA_DACAPO, MICRO, OCTANE, RECURSION)
 }
+
+#: the four suites of the paper's evaluation — what ``repro evaluate``
+#: measures by default (the recursion suite is a harness stress mix,
+#: not a paper figure)
+PAPER_SUITES = ("java-dacapo", "scala-dacapo", "micro", "octane")
 
 
 def _pick_kinds(profile: SuiteProfile, rng: random.Random) -> list[str]:

@@ -63,6 +63,10 @@ TIER_PROMOTE_REQUIRED_ATTRS = (
 #: attrs every ``tier.compile`` event must carry
 TIER_COMPILE_REQUIRED_ATTRS = ("function", "seconds", "fused_sites", "cached")
 
+#: attrs every ``vm.fallback`` event must carry (an engine declining a
+#: frame and degrading to a slower engine, e.g. megaunit -> closure)
+VM_FALLBACK_REQUIRED_ATTRS = ("engine", "fallback", "reason")
+
 #: the counter-table trailer record's name
 COUNTERS_RECORD = "counters"
 
@@ -209,6 +213,10 @@ def validate_record(record: dict[str, Any]) -> list[str]:
         for key in TIER_COMPILE_REQUIRED_ATTRS:
             if key not in attrs:
                 problems.append(f"tier.compile missing attr {key!r}")
+    elif name == "vm.fallback":
+        for key in VM_FALLBACK_REQUIRED_ATTRS:
+            if key not in attrs:
+                problems.append(f"vm.fallback missing attr {key!r}")
     elif name == "phase" and kind == KIND_SPAN and "phase" not in attrs:
         problems.append("phase span missing attr 'phase'")
     return problems

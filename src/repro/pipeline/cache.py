@@ -53,7 +53,11 @@ from .config import CompilerConfig
 #: (extended opcodes, block spans, const ranges) — legacy v2 blobs
 #: unpickle fine (class-level field defaults) but keyed entries are
 #: invalidated so fused streams are rebuilt with stable opcode numbers.
-CACHE_SCHEMA_VERSION = 3
+#: v4: the aux store additionally carries exec-generated engine source
+#: (closure drivers and whole-program megaunit modules, keyed per
+#: repro.vm.codegen_cache) — old dirs are invalidated wholesale so a
+#: v3 tree can never serve generated text to the new engines.
+CACHE_SCHEMA_VERSION = 4
 
 #: pickle protocol pinned so parent and pool workers agree
 PICKLE_PROTOCOL = 4

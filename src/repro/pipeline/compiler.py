@@ -291,9 +291,9 @@ def compile_and_profile(
 
 
 #: Execution engines usable for measurement runs.
-ENGINES = ("reference", "vm", "closure", "tiered")
+ENGINES = ("reference", "vm", "closure", "megaunit", "tiered")
 
-#: engines accepted by :func:`make_engine` — the public four plus
+#: engines accepted by :func:`make_engine` — the public five plus
 #: ``vm-nofuse``, the flat-tuple machine loops with the fused/quickened
 #: fast stream pinned off (the bench engine matrix's ablation row)
 ALL_ENGINES = ENGINES + ("vm-nofuse",)
@@ -314,7 +314,9 @@ def make_engine(
     ``reference`` is the tree-walking interpreter; ``vm`` the bytecode
     machine with superinstruction fusion and quickening; ``vm-nofuse``
     the same machine pinned to its flat-tuple loops; ``closure`` the
-    closure-compiling engine; ``tiered`` the adaptive machine that
+    closure-compiling engine; ``megaunit`` the whole-program compiler
+    (one exec unit, direct calls — see docs/VM.md); ``tiered`` the
+    adaptive machine that
     starts every function in the unfused baseline and promotes hot
     ones at run time (see docs/TIERING.md — ``tiering`` passes a
     :class:`~repro.vm.tiering.TieringPolicy`, ``plan_cache`` an
@@ -344,13 +346,9 @@ def make_engine(
         # verifies it under the same --check-bc contract.
         baseline = translate_program(program, fuse=False, check_bc=check_bc)
         if tiering is not None and tiering.check_bc == "off" and check_bc == "rewrite":
-            from ..vm.tiering import TieringPolicy
+            from dataclasses import replace
 
-            tiering = TieringPolicy(
-                threshold=tiering.threshold,
-                top_pairs=tiering.top_pairs,
-                check_bc="rewrite",
-            )
+            tiering = replace(tiering, check_bc="rewrite")
         elif tiering is None and check_bc == "rewrite":
             from ..vm.tiering import TieringPolicy
 
@@ -363,17 +361,28 @@ def make_engine(
             policy=tiering,
             plan_cache=plan_cache,
         )
-    if engine not in ("vm", "vm-nofuse", "closure"):
+    if engine not in ("vm", "vm-nofuse", "closure", "megaunit"):
         raise ValueError(
             f"unknown engine {engine!r} (expected one of {ALL_ENGINES})"
         )
-    from ..vm import ClosureVirtualMachine, VirtualMachine, translate_program
+    from ..vm import (
+        ClosureVirtualMachine,
+        MegaunitVirtualMachine,
+        VirtualMachine,
+        translate_program,
+    )
 
     if bytecode is None:
         bytecode = translate_program(program, check_bc=check_bc)
     if engine == "closure":
         return ClosureVirtualMachine(
-            bytecode, max_steps=max_steps, metered=metered
+            bytecode, max_steps=max_steps, metered=metered,
+            codegen_cache=plan_cache,
+        )
+    if engine == "megaunit":
+        return MegaunitVirtualMachine(
+            bytecode, max_steps=max_steps, metered=metered,
+            codegen_cache=plan_cache,
         )
     return VirtualMachine(
         bytecode,

@@ -10,7 +10,7 @@ time, phis lowered to per-edge parallel-copy move sequences, branch
 targets resolved to instruction indices — and executes it with a
 per-opcode handler table.
 
-Three raw-speed layers sit on top of the flat-tuple machine:
+Four raw-speed layers sit on top of the flat-tuple machine:
 
 * **superinstruction fusion** (:mod:`repro.vm.fusion`) rewrites hot
   adjacent opcode pairs into single combined instructions;
@@ -19,7 +19,11 @@ Three raw-speed layers sit on top of the flat-tuple machine:
   form;
 * the **closure engine** (:mod:`repro.vm.closure`) compiles each basic
   block to an ``exec``-generated Python closure chain and skips
-  bytecode dispatch entirely.
+  bytecode dispatch entirely;
+* the **megaunit engine** (:mod:`repro.vm.megaunit`) compiles the
+  whole call graph into one ``exec`` unit — registers in Python
+  locals, threaded intra-function dispatch, ``OP_CALL`` as a direct
+  Python call (``--engine=megaunit``).
 
 :mod:`repro.vm.tiering` composes the layers adaptively: the tiered
 engine starts every function in the unfused baseline translation with
@@ -46,9 +50,15 @@ from .opspec import OPCODE_SPECS, OpSpec, register_opspec
 from .fusion import fuse_function, fuse_program, mine_hot_pairs
 from .quicken import quicken_function
 from .closure import ClosureVirtualMachine, compile_function, function_source
+from .megaunit import (
+    MegaunitModule,
+    MegaunitVirtualMachine,
+    generate_module_source,
+)
 from .profiler import ProfilingVirtualMachine, VMProfile, profile_run
 from .translate import translate_graph, translate_program
 from .tiering import (
+    DEFAULT_TIER2_THRESHOLD,
     DEFAULT_TIER_THRESHOLD,
     TieredVirtualMachine,
     TieringController,
@@ -56,10 +66,13 @@ from .tiering import (
 )
 
 __all__ = [
+    "DEFAULT_TIER2_THRESHOLD",
     "DEFAULT_TIER_THRESHOLD",
     "BytecodeFunction",
     "BytecodeProgram",
     "ClosureVirtualMachine",
+    "MegaunitModule",
+    "MegaunitVirtualMachine",
     "OPCODE_SPECS",
     "OpSpec",
     "ProfilingVirtualMachine",
@@ -74,6 +87,7 @@ __all__ = [
     "function_source",
     "fuse_function",
     "fuse_program",
+    "generate_module_source",
     "mine_hot_pairs",
     "profile_run",
     "quicken_function",

@@ -42,7 +42,7 @@ runs on the same machine instance.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from ..interp.interpreter import BudgetExceeded
 from ..ir.ops import EvaluationTrap
@@ -195,13 +195,30 @@ class _FunctionCompiler:
     def emit(self, indent: int, text: str) -> None:
         self.lines.append("    " * indent + text)
 
+    def reg(self, reg: int) -> str:
+        """How generated code names register ``reg`` (read or write).
+
+        The closure engine keeps registers in the ``r`` list; the
+        megaunit compiler overrides this to use Python locals.
+        """
+        return f"r[{reg}]"
+
+    def fn_ref(self) -> str:
+        """The generated-source global naming this function's
+        :class:`BytecodeFunction` (the ``_finish`` cold path needs it)."""
+        return "_fn"
+
+    def finish_regs(self) -> str:
+        """The register-file expression handed to ``_finish``."""
+        return "r"
+
     def operand(self, reg: int) -> str:
         """A register read — interned constants inline as literals."""
         if self.lo <= reg < self.hi:
             value = self.fn.template[reg]
             if value is None or type(value) in (int, bool):
                 return repr(value)
-        return f"r[{reg}]"
+        return self.reg(reg)
 
     def callee(self, target: BytecodeFunction) -> str:
         name = self._callees.get(id(target))
@@ -227,18 +244,21 @@ class _FunctionCompiler:
 
     def wrap64(self, indent: int, dest: int, expr: str) -> None:
         self.emit(indent, f"v = ({expr}) & {_MASK}")
-        self.emit(indent, f"r[{dest}] = v - {_TWO64} if v & {_SIGN} else v")
+        self.emit(
+            indent, f"{self.reg(dest)} = v - {_TWO64} if v & {_SIGN} else v"
+        )
 
     def guarded64(self, indent: int, dest: int, expr: str) -> None:
         # add/sub/mul: skip the mask while the result is in range
         # (identical values — masking an in-range int is the identity).
         self.emit(indent, f"v = {expr}")
         self.emit(indent, f"if {_INT_MIN} <= v <= {_INT_MAX}:")
-        self.emit(indent + 1, f"r[{dest}] = v")
+        self.emit(indent + 1, f"{self.reg(dest)} = v")
         self.emit(indent, "else:")
         self.emit(indent + 1, f"v &= {_MASK}")
         self.emit(
-            indent + 1, f"r[{dest}] = v - {_TWO64} if v & {_SIGN} else v"
+            indent + 1,
+            f"{self.reg(dest)} = v - {_TWO64} if v & {_SIGN} else v",
         )
 
     # -- per-instruction codegen ----------------------------------------
@@ -293,29 +313,29 @@ class _FunctionCompiler:
                 emit(indent, "if a < 0:")
                 emit(indent + 1, "v = -v")
             emit(indent, f"v &= {_MASK}")
-            emit(indent, f"r[{dest}] = v - {_TWO64} if v & {_SIGN} else v")
+            emit(indent, f"{self.reg(dest)} = v - {_TWO64} if v & {_SIGN} else v")
         elif op in (OP_EQ, OP_NE):
             emit(indent, f"a = {self.operand(ins[4])}")
             emit(indent, f"b = {self.operand(ins[5])}")
             test = "a is b if _is_ref(a) or _is_ref(b) else a == b"
             if op == OP_NE:
                 test = f"not ({test})"
-            emit(indent, f"r[{dest}] = {test}")
+            emit(indent, f"{self.reg(dest)} = {test}")
         elif op in (OP_LT, OP_LE, OP_GT, OP_GE):
             sym = {OP_LT: "<", OP_LE: "<=", OP_GT: ">", OP_GE: ">="}[op]
             emit(
                 indent,
-                f"r[{dest}] = {self.operand(ins[4])} {sym}"
+                f"{self.reg(dest)} = {self.operand(ins[4])} {sym}"
                 f" {self.operand(ins[5])}",
             )
         elif op == OP_NOT:
-            emit(indent, f"r[{dest}] = not {self.operand(ins[4])}")
+            emit(indent, f"{self.reg(dest)} = not {self.operand(ins[4])}")
         elif op == OP_NEG:
             self.guarded64(indent, dest, f"-{self.operand(ins[4])}")
         elif op == OP_NEW:
             emit(
                 indent,
-                f"r[{dest}] = HeapObject({ins[4]!r}, dict({ins[5]!r}))",
+                f"{self.reg(dest)} = HeapObject({ins[4]!r}, dict({ins[5]!r}))",
             )
         elif op == OP_LOAD_FIELD:
             emit(indent, f"o = {self.operand(ins[4])}")
@@ -326,7 +346,7 @@ class _FunctionCompiler:
                 f"raise EvaluationTrap('null dereference reading"
                 f" .{ins[5]}')",
             )
-            emit(indent, f"r[{dest}] = o.fields[{ins[5]!r}]")
+            emit(indent, f"{self.reg(dest)} = o.fields[{ins[5]!r}]")
         elif op == OP_STORE_FIELD:
             emit(indent, f"o = {self.operand(ins[4])}")
             emit(indent, "if o is None:")
@@ -337,15 +357,15 @@ class _FunctionCompiler:
                 f" .{ins[5]}')",
             )
             emit(indent, f"o.fields[{ins[5]!r}] = {self.operand(ins[6])}")
-            emit(indent, f"r[{dest}] = None")
+            emit(indent, f"{self.reg(dest)} = None")
         elif op == OP_LOAD_GLOBAL:
-            emit(indent, f"r[{dest}] = state.globals[{ins[4]!r}]")
+            emit(indent, f"{self.reg(dest)} = state.globals[{ins[4]!r}]")
         elif op == OP_STORE_GLOBAL:
             emit(
                 indent,
                 f"state.globals[{ins[4]!r}] = {self.operand(ins[5])}",
             )
-            emit(indent, f"r[{dest}] = None")
+            emit(indent, f"{self.reg(dest)} = None")
         elif op == OP_NEW_ARRAY:
             emit(indent, f"n = {self.operand(ins[4])}")
             emit(indent, "if n < 0:")
@@ -354,7 +374,7 @@ class _FunctionCompiler:
                 indent + 1,
                 'raise EvaluationTrap(f"negative array length {n}")',
             )
-            emit(indent, f"r[{dest}] = HeapArray([{ins[5]!r}] * n)")
+            emit(indent, f"{self.reg(dest)} = HeapArray([{ins[5]!r}] * n)")
         elif op in (OP_ARRAY_LOAD, OP_ARRAY_STORE):
             emit(indent, f"a = {self.operand(ins[4])}")
             emit(indent, "if a is None:")
@@ -369,10 +389,10 @@ class _FunctionCompiler:
                 'raise EvaluationTrap(f"array index {i} out of bounds")',
             )
             if op == OP_ARRAY_LOAD:
-                emit(indent, f"r[{dest}] = vs[i]")
+                emit(indent, f"{self.reg(dest)} = vs[i]")
             else:
                 emit(indent, f"vs[i] = {self.operand(ins[6])}")
-                emit(indent, f"r[{dest}] = None")
+                emit(indent, f"{self.reg(dest)} = None")
         elif op == OP_ARRAY_LENGTH:
             emit(indent, f"a = {self.operand(ins[4])}")
             emit(indent, "if a is None:")
@@ -381,13 +401,13 @@ class _FunctionCompiler:
                 indent + 1,
                 "raise EvaluationTrap('null dereference in len()')",
             )
-            emit(indent, f"r[{dest}] = len(a.values)")
+            emit(indent, f"{self.reg(dest)} = len(a.values)")
         else:  # pragma: no cover - translate emits no other opcodes
             raise AssertionError(f"cannot closure-compile opcode {op}")
 
     def gen_edge(self, indent: int, edge: tuple) -> None:
         for d, s in edge[1]:
-            self.emit(indent, f"r[{d}] = r[{s}]")
+            self.emit(indent, f"{self.reg(d)} = {self.reg(s)}")
         self.emit(indent, f"return _blk_{edge[0]}")
 
     def gen_terminator(self, indent: int, ins: tuple) -> None:
@@ -423,12 +443,29 @@ class _FunctionCompiler:
             pc = seg_end
         self.emit(0, "")
 
+    def meter_guard(self, indent: int, w: int, pc: int) -> None:
+        """Segment-entry budget guard routing to the ``_finish`` replay.
+
+        The megaunit compiler overrides this (and :meth:`meter_charge`)
+        to keep the meters in Python locals.
+        """
+        self.emit(indent, f"if m[0] + {w} > {self.max_steps}:")
+        self.emit(
+            indent + 1,
+            f"_finish(vm, {self.fn_ref()}, {self.finish_regs()}, m, {pc})",
+        )
+
+    def meter_charge(self, indent: int, w: int, acc) -> None:
+        """Segment-exit meter charge: ``w`` steps, ``acc`` cycles."""
+        self.emit(indent, f"m[0] += {w}")
+        if self.metered and acc:
+            self.emit(indent, f"m[1] += {acc!r}")
+
     def gen_segment(self, indent: int, start: int, end: int) -> None:
         """A maximal call-free run; the last pc may be the terminator."""
         code = self.fn.code
         w = end - start
-        self.emit(indent, f"if m[0] + {w} > {self.max_steps}:")
-        self.emit(indent + 1, f"_finish(vm, _fn, r, m, {start})")
+        self.meter_guard(indent, w, start)
         has_term = code[end - 1][0] in (OP_GOTO, OP_IF, OP_RETURN)
         body_end = end - 1 if has_term else end
         acc = 0  # left-to-right partial cycle sum, exact for int costs
@@ -439,23 +476,24 @@ class _FunctionCompiler:
             k += 1
         if has_term:
             acc = acc + code[end - 1][1]
-        self.emit(indent, f"m[0] += {w}")
-        if self.metered and acc:
-            self.emit(indent, f"m[1] += {acc!r}")
+        self.meter_charge(indent, w, acc)
         if has_term:
             self.gen_terminator(indent, code[end - 1])
 
     def gen_call(self, indent: int, ins: tuple, pc: int) -> None:
         """One call site: flush, dispatch, reload, charge the cost."""
         self.emit(indent, f"if m[0] + 1 > {self.max_steps}:")
-        self.emit(indent + 1, f"_finish(vm, _fn, r, m, {pc})")
+        self.emit(
+            indent + 1,
+            f"_finish(vm, {self.fn_ref()}, {self.finish_regs()}, m, {pc})",
+        )
         self.emit(indent, "m[0] += 1")
         self.emit(indent, "state.steps = m[0]")
         self.emit(indent, "state.cycles = m[1]")
-        args = ", ".join(f"r[{a}]" for a in ins[5])
+        args = ", ".join(self.reg(a) for a in ins[5])
         self.emit(
             indent,
-            f"r[{ins[3]}] = vm._call({self.callee(ins[4])}, [{args}])",
+            f"{self.reg(ins[3])} = vm._call({self.callee(ins[4])}, [{args}])",
         )
         self.emit(indent, "m[0] = state.steps")
         self.emit(indent, "m[1] = state.cycles")
@@ -514,6 +552,41 @@ def compile_function(
     return _FunctionCompiler(fn, metered, max_steps, max_call_depth).compile()
 
 
+def exec_function_source(
+    fn: BytecodeFunction,
+    bytecode: BytecodeProgram,
+    source: str,
+    callees: Sequence[str],
+) -> Callable:
+    """Execute cached generated source for ``fn`` without regenerating.
+
+    ``callees`` is the callee-name order the compiler assigned its
+    ``_f<N>`` cells in — the namespace is rebuilt against the *current*
+    program's function table, so a cached driver can never capture
+    functions of another program.  Raises :class:`KeyError` when a
+    callee is missing (the caller regenerates from scratch then).
+    """
+    namespace: dict[str, Any] = {
+        "EvaluationTrap": EvaluationTrap,
+        "HeapObject": HeapObject,
+        "HeapArray": HeapArray,
+        "_is_ref": _is_ref,
+        "_finish": _finish_budget,
+        "_fn": fn,
+        "_tmpl": fn.template,
+        "_ret": [None],
+    }
+    for i, name in enumerate(callees):
+        namespace[f"_f{i}"] = bytecode.functions[name]
+    exec(  # noqa: S102 - cached text was generated from trusted IR
+        compile(source, f"<closure:{fn.name}>", "exec"),
+        namespace,
+    )
+    drive = namespace["_drive"]
+    drive._source = source
+    return drive
+
+
 def generate_source(
     fn: BytecodeFunction,
     metered: bool = True,
@@ -543,12 +616,65 @@ class ClosureVirtualMachine(VirtualMachine):
     live machine transparently recompiles.  Hooked runs (profile
     collector or observer) fall back to the machine's flat-tuple
     loops, as do functions without block metadata.
+
+    ``codegen_cache`` (an :class:`~repro.pipeline.cache.ArtifactCache`
+    or anything with its aux-store API) persists the generated text:
+    warm runs re-``exec`` the cached source instead of regenerating it
+    (see :mod:`repro.vm.codegen_cache` for the key discipline).
     """
 
-    def __init__(self, bytecode: BytecodeProgram, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        bytecode: BytecodeProgram,
+        codegen_cache: Optional[Any] = None,
+        **kwargs: Any,
+    ) -> None:
         super().__init__(bytecode, **kwargs)
+        self.codegen_cache = codegen_cache
         self._drivers: dict[str, Any] = {}
         self._compiled_for = (self.max_steps, self.metered)
+
+    def _compile_driver(self, fn: BytecodeFunction) -> Optional[Callable]:
+        """Compile one driver, through the codegen cache when present."""
+        if not fn.blocks:
+            return None
+        cache = self.codegen_cache
+        if cache is None:
+            return compile_function(
+                fn, self.metered, self.max_steps, self.max_call_depth
+            )
+        from .codegen_cache import codegen_key, load_source, store_source
+
+        key = codegen_key(
+            "closure", (fn,), self.metered, self.max_steps,
+            self.max_call_depth,
+        )
+        payload = load_source(cache, key, "closure")
+        if payload is not None and payload.get("function") == fn.name:
+            try:
+                return exec_function_source(
+                    fn, self.bytecode, payload["source"], payload["callees"]
+                )
+            except KeyError:
+                pass  # callee vanished from the table: regenerate
+        compiler = _FunctionCompiler(
+            fn, self.metered, self.max_steps, self.max_call_depth
+        )
+        drive = compiler.compile()
+        callees = [
+            compiler.namespace[f"_f{i}"].name
+            for i in range(len(compiler._callees))
+        ]
+        store_source(
+            cache, key,
+            {
+                "engine": "closure",
+                "function": fn.name,
+                "callees": callees,
+                "source": drive._source,
+            },
+        )
+        return drive
 
     def _run_frame(self, fn: BytecodeFunction, args: list[Any]) -> Any:
         if self.profile is not None or self.observer is not None:
@@ -559,9 +685,7 @@ class ClosureVirtualMachine(VirtualMachine):
             self._compiled_for = key
         drive = self._drivers.get(fn.name)
         if drive is None:
-            drive = compile_function(
-                fn, self.metered, self.max_steps, self.max_call_depth
-            ) or _FALLBACK
+            drive = self._compile_driver(fn) or _FALLBACK
             self._drivers[fn.name] = drive
         if drive is _FALLBACK:
             return super()._run_frame(fn, args)
@@ -574,6 +698,7 @@ __all__ = [
     "CLOSURE_NAMESPACE",
     "ClosureVirtualMachine",
     "compile_function",
+    "exec_function_source",
     "function_source",
     "generate_source",
 ]

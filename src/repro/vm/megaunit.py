@@ -1,0 +1,576 @@
+"""The megaunit engine: the whole call graph in one exec unit.
+
+The fourth execution engine (``--engine=megaunit``).  The closure
+engine compiles each function to per-block closures but still pays the
+machine's full call protocol at every ``OP_CALL``: exit the
+trampoline, re-enter ``vm._call`` / ``_run_frame``, allocate a
+register file, build a fresh trampoline.  This backend removes all of
+it by compiling the **entire program** into a single generated Python
+module:
+
+* every bytecode function becomes one Python function
+  ``_mu<N>(vm, m, r0.., d)`` — its registers are **Python locals**
+  seeded from the constant template, not a list;
+* intra-function control flow is a threaded dispatch loop
+  (``_L = <pc>`` + ``while True`` + an ``if/elif/else`` ladder over
+  block-start labels, computed-goto style) — no per-block closure
+  trampoline; a block with exactly one predecessor, reached only by a
+  forward jump, is **inlined at that edge** instead of paying a
+  dispatch round trip, and functions whose dispatch can never recur
+  compile to straight-line code with no loop at all;
+* ``OP_CALL`` lowers to a **direct Python call** of the callee's
+  generated function — no ``_run_frame``, no register-file
+  allocation through the machine, no trampoline re-entry.
+
+Exactness mirrors :mod:`repro.vm.closure` (same segment accounting,
+same trap flushes, same :func:`~repro.vm.closure._finish_budget`
+prefix-replay for budget stops) with one twist: the step/cycle meter
+``m`` is a single shared two-slot list threaded through every frame
+of a run, so call sites do not flush ``vm.state`` at all — only trap
+sites, budget stops and the run's entry/exit touch it.  Inside a
+frame the meters live in the **locals** ``s``/``c`` (no list
+subscripts on the hot path) and are written back to ``m`` exactly
+where another frame or the machine observes them:
+
+* a call site writes ``m[0] = s + 1`` / ``m[1] = c`` (the step
+  charged, the machine's ordering), dispatches, then reloads
+  ``s = m[0]`` / ``c = m[1] + cost``;
+* ``_finish`` dispatches and returns write both slots back; trap
+  sites flush ``state.steps = s + k`` / ``state.cycles = c + ck``
+  directly;
+* the callee prologue's stack-overflow guard flushes ``state`` from
+  ``m`` before trapping — bit-identical to the machine, where the
+  caller flushed before ``vm._call`` and the callee traps untouched;
+* the engine's ``_run_frame`` builds ``m = [state.steps,
+  state.cycles]`` once per machine entry and flushes back on normal
+  return; every raising path flushed exactly at its raise site.
+
+Compilation reads ``fn.code`` / ``fn.blocks`` / ``fn.template`` — the
+base stream, which fusion and quickening never mutate — so fused
+artifacts (``fn.xcode`` present) are consumable as compilation source
+unchanged, and step/cycle totals agree with fused execution because
+fusion preserves summed costs and step weights by construction.
+
+Graceful degradation: nested MiniLang calls are now native Python
+calls, so a worst-case-deep run could hit CPython's recursion limit
+mid-frame — unrecoverable, since globals and heap effects are already
+applied.  ``_run_frame`` therefore checks *up front* that the worst
+case (``max_call_depth`` minus the current depth, plus
+``_STACK_HEADROOM`` slack) fits under ``sys.getrecursionlimit()`` and
+otherwise falls back to the inherited closure engine for the whole
+activation, emitting a ``vm.fallback`` tracer event (once per machine
+and reason) and counting ``repro_vm_fallback_total``.  Programs whose
+functions lack block spans (legacy cache artifacts) fall back the
+same way.  Hooked runs (profile collector or observer) delegate to
+the base machine loops exactly as the closure engine does.
+
+The generated module source is persisted in the artifact cache's aux
+store (:mod:`repro.vm.codegen_cache`) so warm runs skip codegen, and
+is statically verified by the extended ``bc-codegen-lint``
+(:func:`repro.analysis.bcverify.lint_megaunit_source`).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Optional
+
+from ..obs.metrics import current_registry
+from ..obs.tracer import current_tracer
+from .bytecode import (
+    OP_CALL,
+    OP_GOTO,
+    OP_IF,
+    OP_RETURN,
+    BytecodeFunction,
+    BytecodeProgram,
+)
+from .closure import (
+    ClosureVirtualMachine,
+    _finish_budget,
+    _FunctionCompiler,
+)
+from .machine import HeapArray, HeapObject, VirtualMachine, _is_ref
+from ..ir.ops import EvaluationTrap
+
+#: Python stack frames kept in reserve when deciding whether a run can
+#: execute natively: interpreter entry frames, the trap/return path,
+#: and anything the harness has on the stack above us.
+_STACK_HEADROOM = 64
+
+#: every fixed global name the generated module may reference
+#: (per-function cells ``_mu<N>`` / ``_fn<N>`` / ``_tmpl<N>`` are
+#: added per program and matched by pattern in the lint)
+MEGAUNIT_NAMESPACE = frozenset(
+    ("EvaluationTrap", "HeapObject", "HeapArray", "_is_ref", "_finish")
+)
+
+#: the only builtins generated code is allowed to reach (same set as
+#: the closure engine — the instruction bodies are shared)
+MEGAUNIT_BUILTINS = frozenset(("abs", "len", "dict"))
+
+
+class MegaunitUnsupported(Exception):
+    """This program cannot be megaunit-compiled (e.g. a function with
+    no block spans); the engine falls back to the closure engine."""
+
+
+def stack_headroom_ok(call_depth: int, max_call_depth: int) -> bool:
+    """Can the *worst case* remaining MiniLang depth run as native
+    Python calls?  Conservative by design: uses ``max_call_depth``, not
+    the depth the program will actually reach, because a megaunit frame
+    that hits CPython's recursion limit mid-run cannot be replayed
+    (heap and global effects are already applied)."""
+    remaining = max_call_depth - call_depth + 1
+    depth = 0
+    frame = sys._getframe()
+    while frame is not None:
+        depth += 1
+        frame = frame.f_back
+    return depth + remaining + _STACK_HEADROOM < sys.getrecursionlimit()
+
+
+# ----------------------------------------------------------------------
+# Source generation
+# ----------------------------------------------------------------------
+class _MegaFunctionCompiler(_FunctionCompiler):
+    """Generates one ``_mu<N>`` function of the whole-program module.
+
+    Inherits every instruction body, the segment accounting and the
+    trap-flush discipline from the closure compiler; overrides how
+    registers are named (locals), how edges transfer control (label
+    assignment + ``continue``) and how calls dispatch (direct)."""
+
+    #: inline chains longer than this fall back to label dispatch so
+    #: generated nesting stays far from CPython's indentation limit
+    _MAX_INLINE_CHAIN = 24
+
+    def __init__(
+        self,
+        fn: BytecodeFunction,
+        metered: bool,
+        max_steps: int,
+        max_call_depth: int,
+        index: int,
+        entries: dict[int, str],
+    ) -> None:
+        super().__init__(fn, metered, max_steps, max_call_depth)
+        self.index = index
+        self.entries = entries
+        self._inline: set[int] = set()
+        self._spans: dict[int, int] = {}
+
+    # -- the overridden naming hooks ------------------------------------
+    def reg(self, reg: int) -> str:
+        return f"r{reg}"
+
+    def fn_ref(self) -> str:
+        return f"_fn{self.index}"
+
+    def finish_regs(self) -> str:
+        # _finish replays through the base handler table, which needs a
+        # mutable register file; it always raises, so the temporary
+        # list's mutations are never observed.
+        return "[" + ", ".join(self.reg(k) for k in range(self.fn.nregs)) + "]"
+
+    # -- meter locals -----------------------------------------------------
+    # Steps and cycles live in the locals ``s``/``c`` (no ``m[0]`` /
+    # ``m[1]`` subscripts on the hot path) and are written back to the
+    # shared list exactly where another frame or the machine observes
+    # them: call sites, returns, ``_finish`` dispatches and trap raises.
+    def meter_guard(self, indent: int, w: int, pc: int) -> None:
+        self.emit(indent, f"if s + {w} > {self.max_steps}:")
+        self.emit(indent + 1, "m[0] = s")
+        self.emit(indent + 1, "m[1] = c")
+        self.emit(
+            indent + 1,
+            f"_finish(vm, {self.fn_ref()}, {self.finish_regs()}, m, {pc})",
+        )
+
+    def meter_charge(self, indent: int, w: int, acc) -> None:
+        self.emit(indent, f"s += {w}")
+        if self.metered and acc:
+            self.emit(indent, f"c += {acc!r}")
+
+    def flush(self, indent: int, k: int, ck) -> None:
+        self.emit(indent, f"state.steps = s + {k}")
+        if self.metered:
+            if ck:
+                self.emit(indent, f"state.cycles = c + {ck!r}")
+            else:
+                self.emit(indent, "state.cycles = c")
+
+    # -- control transfer -----------------------------------------------
+    def block_edges(self, start: int, count: int) -> tuple:
+        """The terminator's edge descriptors for the block at ``start``."""
+        term = self.fn.code[start + count - 1]
+        if term[0] == OP_GOTO:
+            return (term[4],)
+        if term[0] == OP_IF:
+            return (term[5], term[6])
+        return ()
+
+    def plan_inlining(self) -> tuple[set, list]:
+        """Blocks to inline at their unique predecessor edge.
+
+        A non-entry block with exactly one incoming edge, reached only
+        by a forward jump, is generated in place of that edge's
+        ``_L = <pc>`` / ``continue`` round trip and omitted from the
+        dispatch ladder.  Forward-only keeps the recursion finite
+        (inline targets have strictly increasing pcs); chains are
+        capped so nesting stays shallow.  Returns the inline set and
+        the entry block's predecessor list (used to decide whether the
+        dispatch loop is needed at all)."""
+        preds: dict[int, list[int]] = {
+            start: [] for start, _count, _name in self.fn.blocks
+        }
+        for start, count, _name in self.fn.blocks:
+            for edge in self.block_edges(start, count):
+                if edge[0] in preds:
+                    preds[edge[0]].append(start)
+        inline = {
+            target
+            for target, sources in preds.items()
+            if target != 0 and len(sources) == 1 and sources[0] < target
+        }
+        chain: dict[int, int] = {}
+        for start, _count, _name in self.fn.blocks:  # ascending pc
+            if start not in inline:
+                continue
+            chain[start] = chain.get(preds[start][0], 0) + 1
+            if chain[start] > self._MAX_INLINE_CHAIN:
+                inline.discard(start)
+                chain[start] = 0
+        return inline, preds.get(0, [])
+
+    def gen_edge(self, indent: int, edge: tuple) -> None:
+        for d, src in edge[1]:
+            self.emit(indent, f"{self.reg(d)} = {self.reg(src)}")
+        target = edge[0]
+        if target in self._inline:
+            self.gen_body(indent, target, self._spans[target])
+        else:
+            self.emit(indent, f"_L = {target}")
+            self.emit(indent, "continue")
+
+    def gen_terminator(self, indent: int, ins: tuple) -> None:
+        if ins[0] == OP_RETURN:
+            value = self.operand(ins[4]) if ins[4] >= 0 else "None"
+            self.emit(indent, "m[0] = s")
+            self.emit(indent, "m[1] = c")
+            self.emit(indent, f"return {value}")
+        else:
+            super().gen_terminator(indent, ins)
+
+    # -- direct call lowering -------------------------------------------
+    def gen_call(self, indent: int, ins: tuple, pc: int) -> None:
+        """One call site: budget guard, write the meters back (the step
+        charged, so the callee observes the machine's ordering),
+        dispatch the callee's generated function directly, reload and
+        charge the call cost."""
+        target = self.entries.get(id(ins[4]))
+        if target is None:  # pragma: no cover - translate interns callees
+            raise MegaunitUnsupported(
+                f"{self.fn.name}: call target {ins[4]!r} is not part of "
+                "the compiled program"
+            )
+        emit = self.emit
+        emit(indent, f"if s + 1 > {self.max_steps}:")
+        emit(indent + 1, "m[0] = s")
+        emit(indent + 1, "m[1] = c")
+        emit(
+            indent + 1,
+            f"_finish(vm, {self.fn_ref()}, {self.finish_regs()}, m, {pc})",
+        )
+        emit(indent, "m[0] = s + 1")
+        emit(indent, "m[1] = c")
+        args = "".join(f", {self.reg(a)}" for a in ins[5])
+        emit(indent, f"{self.reg(ins[3])} = {target}(vm, m{args}, d + 1)")
+        emit(indent, "s = m[0]")
+        if self.metered and ins[1]:
+            emit(indent, f"c = m[1] + {ins[1]!r}")
+        else:
+            emit(indent, "c = m[1]")
+
+    # -- function scaffolding -------------------------------------------
+    def gen_seed(self) -> None:
+        """Seed every non-parameter register from the constant template.
+
+        All registers must exist as locals before the first budget
+        guard (``_finish`` materializes the full register file), so
+        every slot is seeded eagerly.  Literal-representable values
+        (the ``operand`` rule: ``None``/``int``/``bool``) are grouped
+        by repr into chained assignments; anything else loads from the
+        function's template cell."""
+        fn = self.fn
+        groups: dict[str, list[int]] = {}
+        for k in range(fn.nparams, fn.nregs):
+            value = fn.template[k]
+            if value is None or type(value) in (int, bool):
+                groups.setdefault(repr(value), []).append(k)
+            else:
+                self.emit(1, f"{self.reg(k)} = _tmpl{self.index}[{k}]")
+        for literal, regs in groups.items():
+            for chunk in range(0, len(regs), 12):
+                targets = " = ".join(
+                    self.reg(k) for k in regs[chunk:chunk + 12]
+                )
+                self.emit(1, f"{targets} = {literal}")
+
+    def gen_body(self, indent: int, start: int, count: int) -> None:
+        """One block's body: maximal call-free segments + call sites
+        (the closure compiler's ``gen_block`` without the ``def``)."""
+        code = self.fn.code
+        pc = start
+        end = start + count
+        while pc < end:
+            if code[pc][0] == OP_CALL:
+                self.gen_call(indent, code[pc], pc)
+                pc += 1
+                continue
+            seg_end = pc
+            while seg_end < end and code[seg_end][0] != OP_CALL:
+                seg_end += 1
+            self.gen_segment(indent, pc, seg_end)
+            pc = seg_end
+
+    def gen_function(self) -> None:
+        fn = self.fn
+        emit = self.emit
+        blocks = fn.blocks
+        if not blocks or blocks[0][0] != 0:
+            raise MegaunitUnsupported(f"{fn.name}: no usable block spans")
+        for start, count, _name in blocks:
+            if fn.code[start + count - 1][0] not in (OP_GOTO, OP_IF, OP_RETURN):
+                raise MegaunitUnsupported(
+                    f"{fn.name}: block at pc {start} has no terminator"
+                )
+        self._inline, entry_preds = self.plan_inlining()
+        self._spans = {start: count for start, count, _name in blocks}
+        params = "".join(f", r{k}" for k in range(fn.nparams))
+        emit(0, f"def _mu{self.index}(vm, m{params}, d):")
+        emit(1, "state = vm.state")
+        emit(1, f"if d > {self.max_call_depth}:")
+        emit(2, "state.steps = m[0]")
+        emit(2, "state.cycles = m[1]")
+        emit(2, "raise EvaluationTrap('stack overflow')")
+        emit(1, "s = m[0]")
+        emit(1, "c = m[1]")
+        self.gen_seed()
+        ladder = [
+            (start, count)
+            for start, count, _name in blocks
+            if start not in self._inline
+        ]
+        if len(ladder) == 1 and not entry_preds:
+            # Control can never reach a label twice: every other block
+            # is inlined at its unique predecessor edge and nothing
+            # jumps back to the entry, so no `continue` is ever emitted
+            # — skip the dispatch loop entirely.
+            self.gen_body(1, ladder[0][0], ladder[0][1])
+            return
+        emit(1, "_L = 0")
+        emit(1, "while True:")
+        for idx, (start, count) in enumerate(ladder):
+            if idx == 0:
+                emit(2, f"if _L == {start}:")
+            elif idx == len(ladder) - 1:
+                emit(2, "else:")
+            else:
+                emit(2, f"elif _L == {start}:")
+            self.gen_body(3, start, count)
+
+    def source(self) -> str:
+        self.gen_function()
+        return "\n".join(self.lines) + "\n"
+
+
+def generate_module_source(
+    bytecode: BytecodeProgram,
+    metered: bool = True,
+    max_steps: int = 50_000_000,
+    max_call_depth: int = 200,
+) -> str:
+    """The whole-program Python source ``compile_module`` would exec,
+    without executing it — the static codegen lint works on this text.
+    Raises :class:`MegaunitUnsupported` when the program cannot be
+    megaunit-compiled."""
+    order = list(bytecode.functions.values())
+    entries = {id(fn): f"_mu{i}" for i, fn in enumerate(order)}
+    parts = []
+    for i, fn in enumerate(order):
+        parts.append(
+            _MegaFunctionCompiler(
+                fn, metered, max_steps, max_call_depth, i, entries
+            ).source()
+        )
+    return "\n".join(parts)
+
+
+class MegaunitModule:
+    """One compiled whole-program unit: the source, the per-function
+    entry points, and the function-name order the indices follow."""
+
+    __slots__ = ("source", "entries", "order")
+
+    def __init__(
+        self, source: str, entries: dict[str, Any], order: list[str]
+    ) -> None:
+        self.source = source
+        self.entries = entries
+        self.order = order
+
+
+def _exec_module(
+    bytecode: BytecodeProgram, order: list[BytecodeFunction], source: str
+) -> MegaunitModule:
+    namespace: dict[str, Any] = {
+        "EvaluationTrap": EvaluationTrap,
+        "HeapObject": HeapObject,
+        "HeapArray": HeapArray,
+        "_is_ref": _is_ref,
+        "_finish": _finish_budget,
+    }
+    for i, fn in enumerate(order):
+        namespace[f"_fn{i}"] = fn
+        namespace[f"_tmpl{i}"] = fn.template
+    exec(  # noqa: S102 - the source is generated from trusted IR
+        compile(source, "<megaunit>", "exec"),
+        namespace,
+    )
+    entries = {fn.name: namespace[f"_mu{i}"] for i, fn in enumerate(order)}
+    return MegaunitModule(source, entries, [fn.name for fn in order])
+
+
+def compile_module(
+    bytecode: BytecodeProgram,
+    metered: bool,
+    max_steps: int,
+    max_call_depth: int,
+    codegen_cache: Optional[Any] = None,
+) -> Optional[MegaunitModule]:
+    """Compile (or exec from cache) the whole-program unit, or ``None``
+    when the program cannot be megaunit-compiled."""
+    order = list(bytecode.functions.values())
+    if codegen_cache is not None:
+        from .codegen_cache import codegen_key, load_source, store_source
+
+        key = codegen_key(
+            "megaunit", order, metered, max_steps, max_call_depth
+        )
+        payload = load_source(codegen_cache, key, "megaunit")
+        if (
+            payload is not None
+            and payload.get("functions") == [fn.name for fn in order]
+        ):
+            return _exec_module(bytecode, order, payload["source"])
+    try:
+        source = generate_module_source(
+            bytecode, metered, max_steps, max_call_depth
+        )
+    except MegaunitUnsupported:
+        return None
+    module = _exec_module(bytecode, order, source)
+    if codegen_cache is not None:
+        store_source(
+            codegen_cache, key,
+            {
+                "engine": "megaunit",
+                "functions": module.order,
+                "source": source,
+            },
+        )
+    return module
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class MegaunitVirtualMachine(ClosureVirtualMachine):
+    """A :class:`VirtualMachine` whose runs execute one whole-program
+    exec unit.  Drop-in: same constructor, ``run``/``reset``/``state``
+    API and observable semantics as every other engine.  The module
+    compiles lazily on the first frame and is cached per
+    ``(max_steps, metered)``; insufficient recursion headroom or
+    missing block spans fall back to the inherited closure engine (a
+    ``vm.fallback`` event records why)."""
+
+    def __init__(
+        self,
+        bytecode: BytecodeProgram,
+        codegen_cache: Optional[Any] = None,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(bytecode, codegen_cache=codegen_cache, **kwargs)
+        self._mu_module: Optional[MegaunitModule] = None
+        self._mu_ready = False
+        self._mu_compiled_for = (self.max_steps, self.metered)
+        self._mu_fallbacks_noted: set = set()
+
+    def _module(self) -> Optional[MegaunitModule]:
+        key = (self.max_steps, self.metered)
+        if key != self._mu_compiled_for:
+            self._mu_module = None
+            self._mu_ready = False
+            self._mu_compiled_for = key
+        if not self._mu_ready:
+            self._mu_ready = True
+            self._mu_module = compile_module(
+                self.bytecode, self.metered, self.max_steps,
+                self.max_call_depth, codegen_cache=self.codegen_cache,
+            )
+        return self._mu_module
+
+    def _stack_headroom_ok(self) -> bool:
+        return stack_headroom_ok(self._call_depth, self.max_call_depth)
+
+    def _note_fallback(self, reason: str) -> None:
+        if self._call_depth > 1 or reason in self._mu_fallbacks_noted:
+            return
+        self._mu_fallbacks_noted.add(reason)
+        current_tracer().event(
+            "vm.fallback", engine="megaunit", fallback="closure",
+            reason=reason,
+        )
+        registry = current_registry()
+        if registry.enabled:
+            registry.inc(
+                "repro_vm_fallback_total", engine="megaunit", reason=reason
+            )
+
+    def _run_frame(self, fn: BytecodeFunction, args: list) -> Any:
+        if self.profile is not None or self.observer is not None:
+            # Hooked runs: identical hook semantics to the base machine.
+            return VirtualMachine._run_frame(self, fn, args)
+        module = self._module()
+        if module is None:
+            self._note_fallback("no-block-spans")
+            return ClosureVirtualMachine._run_frame(self, fn, args)
+        entry = module.entries.get(fn.name)
+        if entry is None:  # pragma: no cover - run() resolves names first
+            self._note_fallback("unknown-function")
+            return ClosureVirtualMachine._run_frame(self, fn, args)
+        if not self._stack_headroom_ok():
+            self._note_fallback("recursion-headroom")
+            return ClosureVirtualMachine._run_frame(self, fn, args)
+        state = self.state
+        m = [state.steps, state.cycles]
+        # Raising paths (traps, budget stops, the callee depth guard)
+        # flush state at their raise site; only the normal return path
+        # flushes here.
+        value = entry(self, m, *args, self._call_depth)
+        state.steps = m[0]
+        state.cycles = m[1]
+        return value
+
+
+__all__ = [
+    "MEGAUNIT_BUILTINS",
+    "MEGAUNIT_NAMESPACE",
+    "MegaunitModule",
+    "MegaunitUnsupported",
+    "MegaunitVirtualMachine",
+    "compile_module",
+    "generate_module_source",
+    "stack_headroom_ok",
+]

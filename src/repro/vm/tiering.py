@@ -77,6 +77,15 @@ TIER_PLAN_SCHEMA = 1
 #: default hotness threshold (``calls + backedges``) for promotion
 DEFAULT_TIER_THRESHOLD = 64
 
+#: default tier-1 invocation count before the optional tier-2
+#: whole-program promotion (``--tier2-engine=megaunit``)
+DEFAULT_TIER2_THRESHOLD = 4 * DEFAULT_TIER_THRESHOLD
+
+#: sentinel for functions whose tier-2 promotion was declined (no
+#: megaunit entry, or insufficient recursion headroom) — they stay in
+#: the fused/quickened tier-1 forever
+_TIER2_BLOCKED = object()
+
 
 @dataclass(frozen=True)
 class TieringPolicy:
@@ -88,12 +97,17 @@ class TieringPolicy:
     promoted stream with the static bytecode checkers before it can
     reach dispatch (a violation raises
     :class:`~repro.analysis.bcverify.BytecodeVerificationError` and
-    the function stays in tier-0).
+    the function stays in tier-0).  ``tier2_engine="megaunit"``
+    enables the optional second promotion: a function that accumulates
+    ``tier2_threshold`` tier-1 invocations dispatches through the
+    whole-program megaunit module from then on (docs/TIERING.md).
     """
 
     threshold: int = DEFAULT_TIER_THRESHOLD
     top_pairs: int = DEFAULT_TOP_PAIRS
     check_bc: str = "off"
+    tier2_engine: str = "off"
+    tier2_threshold: int = DEFAULT_TIER2_THRESHOLD
 
     def fingerprint(self) -> str:
         """Deterministic digest of every knob (part of plan-cache keys)."""
@@ -114,7 +128,10 @@ class FunctionTierState:
     outside step/cycle accounting.
     """
 
-    __slots__ = ("calls", "backedges", "branches_taken", "blocks", "branches", "promotable")
+    __slots__ = (
+        "calls", "backedges", "branches_taken", "blocks", "branches",
+        "promotable", "tier1_calls",
+    )
 
     def __init__(self) -> None:
         self.calls = 0
@@ -123,6 +140,8 @@ class FunctionTierState:
         self.blocks: dict[Any, int] = {}
         self.branches: dict[int, list[int]] = {}
         self.promotable = True
+        #: invocations since tier-1 promotion (drives optional tier-2)
+        self.tier1_calls = 0
 
     @property
     def hotness(self) -> int:
@@ -422,6 +441,12 @@ class TieredVirtualMachine(VirtualMachine):
         self.controller = TieringController(
             program, bytecode, self.policy, plan_cache=plan_cache
         )
+        #: tier-2 state: the shared megaunit module (compiled lazily on
+        #: the first tier-2 promotion) and per-function entries —
+        #: a generated function, or _TIER2_BLOCKED for declined ones
+        self._tier2_module: Optional[Any] = None
+        self._tier2_ready = False
+        self._tier2_entries: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     def _run_frame(self, fn: BytecodeFunction, args: list[Any]) -> Any:
@@ -432,6 +457,8 @@ class TieredVirtualMachine(VirtualMachine):
             # sequences can never diverge from --engine=vm.
             return VirtualMachine._run_frame(self, fn, args)
         if fn.xcode is not None:
+            if self.policy.tier2_engine == "megaunit":
+                return self._run_frame_tier1(fn, args)
             return self._run_frame_fast(fn, args)
         controller = self.controller
         state = controller.states.get(fn.name)
@@ -447,6 +474,103 @@ class TieredVirtualMachine(VirtualMachine):
             controller.promote(fn, state, "entry")
             return self._run_frame_fast(fn, args)
         return self._run_frame_tier0(fn, state, args)
+
+    # ------------------------------------------------------------------
+    # Optional tier-2: whole-program megaunit promotion.  A tier-1
+    # function that accumulates ``tier2_threshold`` invocations swaps
+    # its dispatch to the shared megaunit module — registers in Python
+    # locals, direct calls, no per-frame allocation.  Step/cycle
+    # accounting is unchanged by construction (megaunit compiles the
+    # same baseline streams), so the swap is invisible to outcomes.
+    # ------------------------------------------------------------------
+    def _run_frame_tier1(self, fn: BytecodeFunction, args: list[Any]) -> Any:
+        entry = self._tier2_entries.get(fn.name)
+        if entry is None:
+            state = self.controller.state_for(fn)
+            state.tier1_calls += 1
+            if state.tier1_calls < self.policy.tier2_threshold:
+                return self._run_frame_fast(fn, args)
+            entry = self._promote_tier2(fn, state)
+        if entry is _TIER2_BLOCKED:
+            return self._run_frame_fast(fn, args)
+        state = self.state
+        m = [state.steps, state.cycles]
+        # Raising paths flush state at their raise site (megaunit's
+        # meter protocol); only the normal return path flushes here.
+        value = entry(self, m, *args, self._call_depth)
+        state.steps = m[0]
+        state.cycles = m[1]
+        return value
+
+    def _promote_tier2(self, fn: BytecodeFunction, state: Any) -> Any:
+        """Compile (once) the shared megaunit module and activate this
+        function's entry, with the same paired ``tier.promote`` /
+        ``tier.compile`` telemetry as a tier-1 promotion."""
+        from .megaunit import compile_module, stack_headroom_ok
+
+        tracer = current_tracer()
+        registry = current_registry()
+        start = time.perf_counter()
+        module_was_ready = self._tier2_ready
+        if not self._tier2_ready:
+            self._tier2_ready = True
+            self._tier2_module = compile_module(
+                self.bytecode, self.metered, self.max_steps,
+                self.max_call_depth,
+                codegen_cache=self.controller.plan_cache,
+            )
+        module = self._tier2_module
+        entry = module.entries.get(fn.name) if module is not None else None
+        if entry is None:
+            entry = _TIER2_BLOCKED
+            reason = "no-block-spans"
+        elif not stack_headroom_ok(self._call_depth, self.max_call_depth):
+            entry = _TIER2_BLOCKED
+            reason = "recursion-headroom"
+        else:
+            reason = None
+        self._tier2_entries[fn.name] = entry
+        if reason is not None:
+            tracer.event(
+                "vm.fallback", engine="megaunit", fallback="tier1",
+                reason=reason,
+            )
+            if registry.enabled:
+                registry.inc(
+                    "repro_vm_fallback_total", engine="megaunit",
+                    reason=reason,
+                )
+            return entry
+        seconds = time.perf_counter() - start
+        profile_fp = self.controller.profile_fingerprint()
+        tracer.count("tier.promote")
+        tracer.event(
+            "tier.compile",
+            function=fn.name,
+            seconds=seconds,
+            fused_sites=0,
+            plan_size=0,
+            cached=module_was_ready,
+            profile=profile_fp,
+        )
+        tracer.event(
+            "tier.promote",
+            function=fn.name,
+            trigger="tier2",
+            calls=state.calls,
+            backedges=state.backedges,
+            hotness=state.tier1_calls,
+            threshold=self.policy.tier2_threshold,
+            digest=self.controller.stream_digest(fn),
+        )
+        if registry.enabled:
+            registry.inc(
+                "repro_tier_promotions_total",
+                function=fn.name,
+                trigger="tier2",
+            )
+            registry.observe("repro_tier_compile_seconds", seconds)
+        return entry
 
     # ------------------------------------------------------------------
     # The baseline (tier-0) frame loop: the machine's flat-tuple loop
@@ -635,6 +759,7 @@ class TieredVirtualMachine(VirtualMachine):
 
 
 __all__ = [
+    "DEFAULT_TIER2_THRESHOLD",
     "DEFAULT_TIER_THRESHOLD",
     "TIER_PLAN_SCHEMA",
     "FunctionTierState",

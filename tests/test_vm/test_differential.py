@@ -55,10 +55,74 @@ def test_mutants_identical_on_both_engines(seed):
 
 def test_cross_product_covers_every_engine():
     # validate_engines defaults to the full matrix: the reference
-    # interpreter plus all three VM engines, every pair compared.
+    # interpreter plus every VM engine, every pair compared.
     result = validate_engines(EXAMPLES[0].read_text(), "main", [[2]])
     assert result.ok
-    assert set(result.configs) >= {"reference", "vm", "vm-nofuse", "closure"}
+    assert set(result.configs) >= {
+        "reference", "vm", "vm-nofuse", "closure", "megaunit", "tiered",
+    }
+
+
+#: seeded generator programs for the full-matrix sweep — whole programs
+#: from the grammar generator, distinct from the example-derived mutants
+GENERATED_COUNT = 32
+
+
+@pytest.mark.parametrize("seed", range(GENERATED_COUNT))
+def test_generated_programs_identical_on_every_engine(seed):
+    from repro.analysis.progen import random_program
+
+    source = random_program(seed * 7919 + 17)
+    if not _screen_mutant(source, "main", MUTANT_ARGS, SCREEN_STEP_BUDGET):
+        pytest.skip("generated program exceeds the screening step budget")
+    result = validate_engines(source, "main", MUTANT_ARGS, seed=seed)
+    assert result.ok, "\n".join(r.format() for r in result.divergences)
+
+
+CALL_HEAVY = """
+fn leaf(x: int) -> int { return x * 3 + 1; }
+fn mid(x: int) -> int { return leaf(x) + leaf(x + 1); }
+fn main(n: int) -> int {
+  var acc: int = 0;
+  var i: int = 0;
+  while (i < n) {
+    acc = acc + mid(i);
+    i = i + 1;
+  }
+  return acc;
+}
+"""
+
+
+def test_budget_stops_identical_at_every_cap_across_engines():
+    # Sweep every step cap over a call-heavy program so stops land
+    # mid-call, at call boundaries and inside callees; every engine
+    # must report the same BudgetExceeded message, steps and cycles.
+    from repro.interp.interpreter import BudgetExceeded
+    from repro.pipeline.compiler import ALL_ENGINES, compile_and_profile, make_engine
+    from repro.pipeline.config import DBDS
+
+    program, _ = compile_and_profile(CALL_HEAVY, "main", [[4]], DBDS)
+    bytecode = translate_program(program)
+    total = make_engine("vm", program, bytecode=bytecode).run("main", [4]).steps
+
+    def stopped(engine, cap):
+        runner = make_engine(
+            engine, program, bytecode=bytecode, max_steps=cap
+        )
+        try:
+            runner.run("main", [4])
+            message = None
+        except BudgetExceeded as exc:
+            message = str(exc)
+        return message, runner.state.steps, runner.state.cycles
+
+    for cap in list(range(1, 40)) + list(range(40, total + 2, 7)):
+        expected = stopped("reference", cap)
+        for engine in ALL_ENGINES:
+            if engine == "reference":
+                continue
+            assert stopped(engine, cap) == expected, (engine, cap)
 
 
 def test_fuzz_engines_smoke_over_full_matrix():

@@ -1,0 +1,454 @@
+"""The megaunit engine: whole-program exec-unit exactness.
+
+``MegaunitVirtualMachine`` compiles the entire call graph into one
+generated Python module — registers as locals, threaded intra-function
+dispatch, ``OP_CALL`` as a direct Python call — so every observable
+(values, traps, step/cycle accounting, budget stops mid-call and
+mid-segment, globals, reset) must match the reference interpreter
+bit-for-bit, and every degradation path (hooks, missing block spans,
+insufficient recursion headroom) must fall back transparently with a
+``vm.fallback`` event.
+"""
+
+import sys
+
+import pytest
+
+from repro.analysis.bcverify import lint_megaunit_source, verify_bytecode
+from repro.costmodel.model import cycles_of
+from repro.frontend.irbuilder import compile_source
+from repro.interp.interpreter import (
+    BudgetExceeded,
+    Interpreter,
+    ProfileCollector,
+    observable_outcome,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracer import Tracer, use_tracer
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.compiler import compile_and_profile, make_engine
+from repro.pipeline.config import DBDS
+from repro.vm import MegaunitVirtualMachine, translate_program
+from repro.vm.megaunit import (
+    MegaunitUnsupported,
+    compile_module,
+    generate_module_source,
+    stack_headroom_ok,
+)
+
+APPS = {
+    "nqueens": ("examples/apps/nqueens.mini", [6]),
+    "wordfreq": ("examples/apps/wordfreq.mini", [120]),
+    "matrix": ("examples/apps/matrix.mini", [8]),
+}
+
+#: call-heavy program: budget stops land mid-call, at call boundaries
+#: and inside callees at various depths
+CALLS = """
+fn leaf(x: int) -> int { return x * 3 + 1; }
+fn mid(x: int) -> int { return leaf(x) + leaf(x + 1); }
+fn fib(n: int) -> int {
+  if (n < 2) { return n; }
+  return fib(n - 1) + fib(n - 2);
+}
+fn main(n: int) -> int {
+  var acc: int = 0;
+  var i: int = 0;
+  while (i < n) {
+    acc = acc + mid(i) + fib(i % 7);
+    i = i + 1;
+  }
+  return acc;
+}
+"""
+
+LOOP = """
+fn main(n: int) -> int {
+  var h: int = 99;
+  var i: int = 0;
+  while (i < n) {
+    h = (h * 31 + i) % 100003;
+    i = i + 1;
+  }
+  return h;
+}
+"""
+
+DEEP = """
+fn down(n: int, acc: int) -> int {
+  if (n <= 0) { return acc; }
+  return down(n - 1, acc + n);
+}
+fn main(x: int) -> int { return down(x, 0); }
+"""
+
+
+def engines_for(source: str, metered: bool = True, **kwargs):
+    program = compile_source(source)
+    reference = Interpreter(
+        program,
+        cycle_cost=cycles_of if metered else None,
+        terminator_cost=cycles_of if metered else None,
+        **{k: v for k, v in kwargs.items() if k != "max_steps"},
+        max_steps=kwargs.get("max_steps", 50_000_000),
+    )
+    megaunit = MegaunitVirtualMachine(
+        translate_program(program), metered=metered, **kwargs
+    )
+    return reference, megaunit
+
+
+def assert_parity(reference, megaunit, args, entry="main"):
+    ref = reference.run(entry, list(args))
+    out = megaunit.run(entry, list(args))
+    assert observable_outcome(ref, reference.state) == observable_outcome(
+        out, megaunit.state
+    )
+    assert (ref.steps, ref.cycles) == (out.steps, out.cycles)
+    return ref, out
+
+
+# ----------------------------------------------------------------------
+# Values, steps, cycles, traps
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(APPS))
+def test_apps_value_step_cycle_parity(name):
+    path, args = APPS[name]
+    reference, megaunit = engines_for(open(path).read())
+    assert_parity(reference, megaunit, args)
+
+
+def test_call_heavy_parity_and_unmetered():
+    reference, megaunit = engines_for(CALLS)
+    assert_parity(reference, megaunit, [9])
+    reference, megaunit = engines_for(CALLS, metered=False)
+    ref = reference.run("main", [9])
+    out = megaunit.run("main", [9])
+    assert (ref.value, ref.steps) == (out.value, out.steps)
+    assert out.cycles == 0.0
+
+
+def test_optimized_fused_stream_is_consumable():
+    # make_engine hands the megaunit engine a fused/quickened bytecode
+    # program (fn.xcode set); compilation reads the base stream and the
+    # totals still agree because fusion preserves summed costs.
+    program, _ = compile_and_profile(CALLS, "main", [[6]], DBDS)
+    bytecode = translate_program(program)
+    assert any(fn.xcode is not None for fn in bytecode.functions.values())
+    reference = make_engine("reference", program)
+    megaunit = make_engine("megaunit", program, bytecode=bytecode)
+    assert_parity(reference, megaunit, [9])
+
+
+@pytest.mark.parametrize(
+    "source, label",
+    [
+        ("fn main(x: int) -> int { return 1 / x; }", "division by zero"),
+        (
+            """
+            fn f(x: int) -> int { return 10 % x; }
+            fn main(x: int) -> int { return f(x); }
+            """,
+            "modulo by zero",
+        ),
+    ],
+    ids=["div", "mod-in-callee"],
+)
+def test_trap_messages_and_accounting(source, label):
+    reference, megaunit = engines_for(source)
+    ref = reference.run("main", [0])
+    out = megaunit.run("main", [0])
+    assert ref.trap == out.trap and label in out.trap
+    assert (ref.steps, ref.cycles) == (out.steps, out.cycles)
+
+
+def test_stack_overflow_trap_parity():
+    deep = "fn main(x: int) -> int { return main(x + 1); }"
+    reference, megaunit = engines_for(deep)
+    ref = reference.run("main", [0])
+    out = megaunit.run("main", [0])
+    assert ref.trap == out.trap == "stack overflow"
+    assert ref.steps == out.steps
+
+
+# ----------------------------------------------------------------------
+# Budget stops: mid-segment, mid-call and at call boundaries
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("metered", [False, True], ids=["plain", "metered"])
+def test_budget_stop_exact_at_every_cap(metered):
+    program = compile_source(CALLS)
+    bytecode = translate_program(program)
+    total = MegaunitVirtualMachine(bytecode).run("main", [5]).steps
+    for cap in range(1, total + 2):
+        reference = Interpreter(
+            program,
+            max_steps=cap,
+            cycle_cost=cycles_of if metered else None,
+            terminator_cost=cycles_of if metered else None,
+        )
+        megaunit = MegaunitVirtualMachine(
+            bytecode, max_steps=cap, metered=metered
+        )
+        ref_msg = mu_msg = None
+        try:
+            reference.run("main", [5])
+        except BudgetExceeded as exc:
+            ref_msg = str(exc)
+        try:
+            megaunit.run("main", [5])
+        except BudgetExceeded as exc:
+            mu_msg = str(exc)
+        assert ref_msg == mu_msg
+        assert reference.state.steps == megaunit.state.steps
+        if metered:
+            assert reference.state.cycles == megaunit.state.cycles
+
+
+def test_changing_max_steps_recompiles_module():
+    program = compile_source(LOOP)
+    megaunit = MegaunitVirtualMachine(translate_program(program), max_steps=50)
+    with pytest.raises(BudgetExceeded):
+        megaunit.run("main", [1000])
+    megaunit.reset()
+    megaunit.max_steps = 50_000_000
+    assert megaunit.run("main", [10]).value is not None
+
+
+# ----------------------------------------------------------------------
+# Globals, reset
+# ----------------------------------------------------------------------
+def test_globals_and_reset():
+    source = """
+    global total: int;
+    fn bump(v: int) -> int { total = total + v; return total; }
+    fn main(x: int) -> int { bump(x); bump(x); return total; }
+    """
+    reference, megaunit = engines_for(source)
+    assert megaunit.run("main", [5]).value == reference.run("main", [5]).value
+    megaunit.reset()
+    reference.reset()
+    assert megaunit.run("main", [3]).value == reference.run("main", [3]).value
+
+
+# ----------------------------------------------------------------------
+# Fallbacks
+# ----------------------------------------------------------------------
+def test_recursion_headroom_falls_back_to_closure():
+    # max_call_depth far above what CPython's recursion limit can host
+    # natively: the conservative up-front guard must decline the native
+    # path, fall back to the closure engine for the whole activation,
+    # and still be bit-identical (the run's actual depth is modest).
+    program = compile_source(DEEP)
+    bytecode = translate_program(program)
+    assert not stack_headroom_ok(1, sys.getrecursionlimit() + 100)
+    reference = Interpreter(
+        program,
+        cycle_cost=cycles_of,
+        terminator_cost=cycles_of,
+        max_call_depth=sys.getrecursionlimit() + 100,
+    )
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    megaunit = MegaunitVirtualMachine(
+        bytecode, metered=True,
+        max_call_depth=sys.getrecursionlimit() + 100,
+    )
+    with use_tracer(tracer), use_registry(registry):
+        assert_parity(reference, megaunit, [150])
+    events = [e for e in tracer.events if e.name == "vm.fallback"]
+    assert len(events) == 1
+    assert events[0].attrs == {
+        "engine": "megaunit",
+        "fallback": "closure",
+        "reason": "recursion-headroom",
+    }
+    assert registry.snapshot().counter_value(
+        "repro_vm_fallback_total", engine="megaunit",
+        reason="recursion-headroom",
+    ) == 1
+    # The fallback is noted once per machine, not once per frame.
+    with use_tracer(tracer):
+        megaunit.reset()
+        megaunit.run("main", [10])
+    assert len([e for e in tracer.events if e.name == "vm.fallback"]) == 1
+
+
+def test_missing_block_spans_fall_back():
+    program = compile_source(LOOP)
+    bytecode = translate_program(program)
+    bytecode.function("main").blocks = ()
+    with pytest.raises(MegaunitUnsupported):
+        generate_module_source(bytecode)
+    tracer = Tracer()
+    megaunit = MegaunitVirtualMachine(bytecode, metered=True)
+    reference = Interpreter(
+        program, cycle_cost=cycles_of, terminator_cost=cycles_of
+    )
+    with use_tracer(tracer):
+        assert_parity(reference, megaunit, [21])
+    events = [e for e in tracer.events if e.name == "vm.fallback"]
+    assert [e.attrs["reason"] for e in events] == ["no-block-spans"]
+
+
+def test_profile_hook_falls_back_to_machine_loops():
+    program = compile_source(CALLS)
+    ref_profile, mu_profile = ProfileCollector(), ProfileCollector()
+    Interpreter(program, profile=ref_profile).run("main", [6])
+    MegaunitVirtualMachine(
+        translate_program(program), profile=mu_profile
+    ).run("main", [6])
+    assert ref_profile.block_counts == mu_profile.block_counts
+    assert ref_profile.branch_counts == mu_profile.branch_counts
+
+
+def test_observer_hook_falls_back_to_machine_loops():
+    program = compile_source(LOOP)
+    seen_ref, seen_mu = [], []
+    Interpreter(program, observer=lambda i, v: seen_ref.append((i, v))).run(
+        "main", [7]
+    )
+    MegaunitVirtualMachine(
+        translate_program(program),
+        observer=lambda i, v: seen_mu.append((i, v)),
+    ).run("main", [7])
+    assert seen_ref == seen_mu
+
+
+# ----------------------------------------------------------------------
+# Generated source: shape, lint, verifier integration
+# ----------------------------------------------------------------------
+def test_module_source_is_real_python_and_lints_clean():
+    program, _ = compile_and_profile(CALLS, "main", [[6]], DBDS)
+    bytecode = translate_program(program)
+    for metered in (False, True):
+        source = generate_module_source(bytecode, metered=metered)
+        compile(source, "<megaunit-test>", "exec")  # must parse
+        assert "def _mu0(vm, m" in source
+        assert lint_megaunit_source(bytecode, metered=metered) == []
+
+
+def test_verify_bytecode_runs_the_megaunit_lint():
+    program, _ = compile_and_profile(CALLS, "main", [[6]], DBDS)
+    bytecode = translate_program(program)
+    report = verify_bytecode(bytecode, program, quicken=True)
+    assert report.ok, report.format()
+
+
+def test_straight_line_function_has_no_dispatch_loop():
+    source = "fn main(x: int) -> int { return x * 2 + 1; }"
+    bytecode = translate_program(compile_source(source))
+    text = generate_module_source(bytecode)
+    assert "while True" not in text and "_L" not in text
+
+
+# ----------------------------------------------------------------------
+# Codegen cache
+# ----------------------------------------------------------------------
+def test_codegen_cache_round_trip(tmp_path):
+    program = compile_source(CALLS)
+    bytecode = translate_program(program)
+    cache = ArtifactCache(tmp_path / "cache")
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cold = MegaunitVirtualMachine(
+            bytecode, metered=True, codegen_cache=cache
+        )
+        cold_result = cold.run("main", [8])
+    snap = registry.snapshot()
+    assert snap.counter_value(
+        "repro_codegen_cache_total", result="miss", engine="megaunit"
+    ) == 1
+    with use_registry(registry):
+        warm = MegaunitVirtualMachine(
+            bytecode, metered=True, codegen_cache=cache
+        )
+        warm_result = warm.run("main", [8])
+    snap = registry.snapshot()
+    assert snap.counter_value(
+        "repro_codegen_cache_total", result="hit", engine="megaunit"
+    ) == 1
+    assert (cold_result.value, cold_result.steps, cold_result.cycles) == (
+        warm_result.value, warm_result.steps, warm_result.cycles
+    )
+    # The exec'd-from-cache module carries the same source text.
+    assert warm._module().source == cold._module().source
+
+
+def test_codegen_cache_key_tracks_baked_knobs(tmp_path):
+    # Different max_steps bake different budget guards: the warm run
+    # must miss rather than execute a stale unit.
+    program = compile_source(LOOP)
+    bytecode = translate_program(program)
+    cache = ArtifactCache(tmp_path / "cache")
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        MegaunitVirtualMachine(
+            bytecode, metered=True, codegen_cache=cache, max_steps=1000
+        ).run("main", [5])
+        MegaunitVirtualMachine(
+            bytecode, metered=True, codegen_cache=cache, max_steps=2000
+        ).run("main", [5])
+    snap = registry.snapshot()
+    assert snap.counter_value(
+        "repro_codegen_cache_total", result="miss", engine="megaunit"
+    ) == 2
+    assert snap.counter_value(
+        "repro_codegen_cache_total", result="hit", engine="megaunit"
+    ) == 0
+
+
+def test_closure_engine_also_caches_codegen(tmp_path):
+    from repro.vm import ClosureVirtualMachine
+
+    program = compile_source(CALLS)
+    bytecode = translate_program(program)
+    cache = ArtifactCache(tmp_path / "cache")
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cold = ClosureVirtualMachine(
+            bytecode, metered=True, codegen_cache=cache
+        )
+        cold_result = cold.run("main", [8])
+        warm = ClosureVirtualMachine(
+            bytecode, metered=True, codegen_cache=cache
+        )
+        warm_result = warm.run("main", [8])
+    snap = registry.snapshot()
+    assert snap.counter_value(
+        "repro_codegen_cache_total", result="hit", engine="closure"
+    ) > 0
+    assert (cold_result.value, cold_result.steps, cold_result.cycles) == (
+        warm_result.value, warm_result.steps, warm_result.cycles
+    )
+
+
+# ----------------------------------------------------------------------
+# Tier-2 integration
+# ----------------------------------------------------------------------
+def test_tiered_tier2_promotion_pairs_events_and_agrees():
+    from repro.vm import TieredVirtualMachine, TieringPolicy
+
+    program, _ = compile_and_profile(CALLS, "main", [[6]], DBDS)
+    reference = make_engine("reference", program)
+    expected = reference.run("main", [10])
+    tracer = Tracer()
+    tiered = TieredVirtualMachine(
+        program,
+        metered=True,
+        policy=TieringPolicy(
+            threshold=4, tier2_engine="megaunit", tier2_threshold=8
+        ),
+    )
+    with use_tracer(tracer):
+        out = tiered.run("main", [10])
+    assert (out.value, out.steps, out.cycles) == (
+        expected.value, expected.steps, expected.cycles
+    )
+    promotes = [e for e in tracer.events if e.name == "tier.promote"]
+    compiles = [e for e in tracer.events if e.name == "tier.compile"]
+    tier2 = [e for e in promotes if e.attrs["trigger"] == "tier2"]
+    assert tier2, "expected at least one tier-2 promotion"
+    assert len(promotes) == len(compiles)
+    for event in tier2:
+        assert event.attrs["threshold"] == 8
+        assert event.attrs["hotness"] >= 8
